@@ -1,0 +1,783 @@
+//! Ant schedule construction for both passes.
+//!
+//! Both the sequential scheduler and the (simulated) GPU kernel build
+//! schedules with the same ant logic; they differ only in *who drives the
+//! steps*: the sequential scheduler runs each ant to completion, the
+//! parallel scheduler steps the 64 ants of a wavefront in lockstep and
+//! charges the wavefront cost model for every round
+//! (see [`crate::parallel`]).
+//!
+//! Pass 1 ([`Pass1Ant`]) ignores latencies and builds an instruction
+//! *order* minimizing the APRP register-pressure cost. Pass 2
+//! ([`Pass2Ant`]) builds a timed schedule with stalls, minimizing length
+//! under the pass-1 pressure cost as a hard constraint; ants that violate
+//! the constraint die (Section IV-C).
+
+use crate::config::AcoConfig;
+use crate::pheromone::PheromoneTable;
+use list_sched::{Heuristic, HeuristicEval, RegionAnalysis};
+use machine_model::OccupancyModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reg_pressure::{PressureTracker, RegUniverse};
+use sched_ir::{Cycle, Ddg, InstrId, Schedule, REG_CLASS_COUNT};
+
+/// Abstract operations charged per candidate considered in a selection
+/// scan (pheromone read, η evaluation including the last-use scan over the
+/// operand list, exponentiation, multiply, compare).
+pub const OPS_PER_CANDIDATE: u64 = 8;
+/// Abstract operations charged per successor edge when updating the ready
+/// list after an issue.
+pub const OPS_PER_SUCC: u64 = 2;
+/// Fixed abstract operations per construction step (RNG, bookkeeping).
+pub const OPS_PER_STEP: u64 = 2;
+
+/// Shared, read-only inputs of every ant working on one region.
+#[derive(Debug, Clone, Copy)]
+pub struct AntContext<'a> {
+    /// The region being scheduled.
+    pub ddg: &'a Ddg,
+    /// Precomputed analyses (CP distances, ready-list UB, ...).
+    pub analysis: &'a RegionAnalysis,
+    /// Interned registers.
+    pub universe: &'a RegUniverse,
+    /// Occupancy/APRP model.
+    pub occ: &'a OccupancyModel,
+    /// Algorithm parameters.
+    pub cfg: &'a AcoConfig,
+}
+
+/// Statistics of one pass-1 construction step, consumed by the wavefront
+/// cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pass1Step {
+    /// Ready-list length scanned by the selection.
+    pub scanned: u32,
+    /// Successor-edge updates performed after the issue.
+    pub succ_ops: u32,
+    /// Whether this ant used biased exploration (vs argmax exploitation).
+    pub explored: bool,
+}
+
+/// Outcome of one pass-2 construction step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass2Step {
+    /// An instruction was issued.
+    Issued {
+        /// Ready-list length scanned.
+        scanned: u32,
+        /// Successor-edge updates performed.
+        succ_ops: u32,
+        /// Whether biased exploration was used.
+        explored: bool,
+    },
+    /// A stall was scheduled (necessary or optional).
+    Stalled {
+        /// Ready-list length scanned before deciding to stall.
+        scanned: u32,
+        /// True if the stall was optional (pressure-motivated), false if
+        /// forced by latencies.
+        optional: bool,
+    },
+    /// The ant exceeded the pressure constraint with no way out and was
+    /// terminated.
+    Died,
+    /// The schedule is complete.
+    Finished,
+}
+
+/// Result of a completed pass-1 construction.
+#[derive(Debug, Clone)]
+pub struct Pass1Result {
+    /// The constructed instruction order.
+    pub order: Vec<InstrId>,
+    /// Peak pressure of the order.
+    pub prp: [u32; REG_CLASS_COUNT],
+    /// Scalar APRP cost (lower is better).
+    pub cost: u64,
+}
+
+/// Result of a completed pass-2 construction.
+#[derive(Debug, Clone)]
+pub struct Pass2Result {
+    /// The timed schedule.
+    pub schedule: Schedule,
+    /// Issue order.
+    pub order: Vec<InstrId>,
+    /// Peak pressure.
+    pub prp: [u32; REG_CLASS_COUNT],
+    /// Schedule length in cycles.
+    pub length: Cycle,
+}
+
+/// Selects the next instruction with the Ant Colony System rule:
+/// exploit (argmax of τ·η^β) or explore (roulette proportional to τ·η^β).
+#[allow(clippy::too_many_arguments)]
+fn select(
+    rng: &mut SmallRng,
+    pheromone: &PheromoneTable,
+    last: Option<InstrId>,
+    candidates: &[InstrId],
+    eval: &HeuristicEval<'_>,
+    pressure: &PressureTracker<'_>,
+    beta: f64,
+    explore: bool,
+) -> usize {
+    debug_assert!(!candidates.is_empty());
+    if candidates.len() == 1 {
+        return 0;
+    }
+    let score = |id: InstrId| pheromone.get(last, id) * pow_beta(eval.eta(id, pressure), beta);
+    if explore {
+        let weights: Vec<f64> = candidates.iter().map(|&c| score(c)).collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            return rng.gen_range(0..candidates.len());
+        }
+        let mut draw = rng.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            draw -= w;
+            if draw <= 0.0 {
+                return i;
+            }
+        }
+        candidates.len() - 1
+    } else {
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, &c) in candidates.iter().enumerate() {
+            let s = score(c);
+            if s > best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// η^β with fast paths for the common exponents.
+#[inline]
+fn pow_beta(eta: f64, beta: f64) -> f64 {
+    if beta == 2.0 {
+        eta * eta
+    } else if beta == 1.0 {
+        eta
+    } else {
+        eta.powf(beta)
+    }
+}
+
+/// A pass-1 ant: builds a latency-free order minimizing APRP cost.
+#[derive(Debug, Clone)]
+pub struct Pass1Ant<'a> {
+    rng: SmallRng,
+    heuristic: Heuristic,
+    pressure: PressureTracker<'a>,
+    pending: Vec<u32>,
+    ready: Vec<InstrId>,
+    order: Vec<InstrId>,
+    last: Option<InstrId>,
+    ops: u64,
+}
+
+impl<'a> Pass1Ant<'a> {
+    /// Creates an ant with its own RNG stream.
+    pub fn new(ctx: &AntContext<'a>, heuristic: Heuristic, seed: u64) -> Pass1Ant<'a> {
+        Pass1Ant {
+            rng: SmallRng::seed_from_u64(seed),
+            heuristic,
+            pressure: PressureTracker::new(ctx.universe),
+            pending: ctx
+                .ddg
+                .ids()
+                .map(|i| ctx.ddg.preds(i).len() as u32)
+                .collect(),
+            ready: ctx.ddg.roots().collect(),
+            order: Vec::with_capacity(ctx.ddg.len()),
+            last: None,
+            ops: 0,
+        }
+    }
+
+    /// Resets for a new construction (new iteration), reseeding the RNG.
+    pub fn reset(&mut self, ctx: &AntContext<'a>, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+        self.pressure.reset();
+        for id in ctx.ddg.ids() {
+            self.pending[id.index()] = ctx.ddg.preds(id).len() as u32;
+        }
+        self.ready.clear();
+        self.ready.extend(ctx.ddg.roots());
+        self.order.clear();
+        self.last = None;
+    }
+
+    /// Whether the order is complete.
+    pub fn finished(&self, ctx: &AntContext<'a>) -> bool {
+        self.order.len() == ctx.ddg.len()
+    }
+
+    /// Performs one construction step. `explore` overrides the ant's own
+    /// explore/exploit draw (used for wavefront-level randomization);
+    /// `None` lets the ant draw per-thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if called after the order is complete.
+    pub fn step(
+        &mut self,
+        ctx: &AntContext<'a>,
+        pheromone: &PheromoneTable,
+        explore: Option<bool>,
+    ) -> Pass1Step {
+        debug_assert!(!self.finished(ctx));
+        let explored = explore.unwrap_or_else(|| self.rng.gen::<f64>() > ctx.cfg.q0);
+        let eval = HeuristicEval::new(self.heuristic, ctx.analysis, ctx.occ);
+        let scanned = self.ready.len() as u32;
+        let pos = select(
+            &mut self.rng,
+            pheromone,
+            self.last,
+            &self.ready,
+            &eval,
+            &self.pressure,
+            ctx.cfg.beta,
+            explored,
+        );
+        let id = self.ready.swap_remove(pos);
+        self.pressure.issue(id);
+        self.order.push(id);
+        self.last = Some(id);
+        let mut succ_ops = 0;
+        for &(s, _) in ctx.ddg.succs(id) {
+            succ_ops += 1;
+            self.pending[s.index()] -= 1;
+            if self.pending[s.index()] == 0 {
+                self.ready.push(s);
+            }
+        }
+        self.ops += OPS_PER_STEP + scanned as u64 * OPS_PER_CANDIDATE + succ_ops * OPS_PER_SUCC;
+        Pass1Step {
+            scanned,
+            succ_ops: succ_ops as u32,
+            explored,
+        }
+    }
+
+    /// Runs the construction to completion (sequential driver).
+    pub fn run(&mut self, ctx: &AntContext<'a>, pheromone: &PheromoneTable) -> Pass1Result {
+        while !self.finished(ctx) {
+            self.step(ctx, pheromone, None);
+        }
+        self.result(ctx)
+    }
+
+    /// The completed result.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the order is not complete.
+    pub fn result(&self, ctx: &AntContext<'a>) -> Pass1Result {
+        debug_assert!(self.finished(ctx));
+        let prp = self.pressure.peak();
+        Pass1Result {
+            order: self.order.clone(),
+            prp,
+            cost: ctx.occ.rp_cost(prp),
+        }
+    }
+
+    /// Abstract operations executed so far (CPU cost accounting).
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Current ready-list length (wavefront cost accounting).
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+}
+
+/// Lifecycle of a pass-2 ant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Running,
+    Dead,
+    Finished,
+}
+
+/// A pass-2 ant: builds a timed schedule with stalls under a hard pressure
+/// constraint.
+#[derive(Debug, Clone)]
+pub struct Pass2Ant<'a> {
+    rng: SmallRng,
+    heuristic: Heuristic,
+    allow_optional_stalls: bool,
+    target_cost: u64,
+    pressure: PressureTracker<'a>,
+    pending: Vec<u32>,
+    /// `(instruction, cycle its operands become available)`.
+    ready: Vec<(InstrId, Cycle)>,
+    cycles: Vec<Cycle>,
+    order: Vec<InstrId>,
+    now: Cycle,
+    last: Option<InstrId>,
+    optional_stalls: u32,
+    stall_budget_override: Option<u32>,
+    phase: Phase,
+    ops: u64,
+    issuable_buf: Vec<InstrId>,
+}
+
+impl<'a> Pass2Ant<'a> {
+    /// Creates a pass-2 ant targeting `target_cost` (the best pass-1 APRP
+    /// cost, treated as a constraint).
+    pub fn new(
+        ctx: &AntContext<'a>,
+        heuristic: Heuristic,
+        seed: u64,
+        target_cost: u64,
+        allow_optional_stalls: bool,
+    ) -> Pass2Ant<'a> {
+        Pass2Ant {
+            rng: SmallRng::seed_from_u64(seed),
+            heuristic,
+            allow_optional_stalls,
+            target_cost,
+            pressure: PressureTracker::new(ctx.universe),
+            pending: ctx
+                .ddg
+                .ids()
+                .map(|i| ctx.ddg.preds(i).len() as u32)
+                .collect(),
+            ready: ctx.ddg.roots().map(|i| (i, 0)).collect(),
+            cycles: vec![0; ctx.ddg.len()],
+            order: Vec::with_capacity(ctx.ddg.len()),
+            now: 0,
+            last: None,
+            optional_stalls: 0,
+            stall_budget_override: None,
+            phase: Phase::Running,
+            ops: 0,
+            issuable_buf: Vec::new(),
+        }
+    }
+
+    /// Overrides the optional-stall budget (the host-side greedy input
+    /// constructions stall freely; wavefront ants use the configured
+    /// fraction of the region size).
+    pub fn set_stall_budget(&mut self, budget: u32) {
+        self.stall_budget_override = Some(budget);
+    }
+
+    /// Resets for a new construction, reseeding the RNG.
+    pub fn reset(&mut self, ctx: &AntContext<'a>, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+        self.pressure.reset();
+        for id in ctx.ddg.ids() {
+            self.pending[id.index()] = ctx.ddg.preds(id).len() as u32;
+        }
+        self.ready.clear();
+        self.ready.extend(ctx.ddg.roots().map(|i| (i, 0)));
+        self.cycles.fill(0);
+        self.order.clear();
+        self.now = 0;
+        self.last = None;
+        self.optional_stalls = 0;
+        self.phase = Phase::Running;
+    }
+
+    /// Whether the ant is still constructing.
+    pub fn running(&self) -> bool {
+        self.phase == Phase::Running
+    }
+
+    /// Whether the ant completed a feasible schedule.
+    pub fn finished(&self) -> bool {
+        self.phase == Phase::Finished
+    }
+
+    /// Kills the ant (early wavefront termination).
+    pub fn kill(&mut self) {
+        if self.phase == Phase::Running {
+            self.phase = Phase::Dead;
+        }
+    }
+
+    /// Maximum optional stalls this ant may insert.
+    fn stall_budget(&self, ctx: &AntContext<'a>) -> u32 {
+        self.stall_budget_override
+            .unwrap_or((ctx.ddg.len() as f64 * ctx.cfg.optional_stall_budget).ceil() as u32)
+    }
+
+    /// Performs one construction step (issue one instruction, schedule one
+    /// stall, die, or finish).
+    pub fn step(
+        &mut self,
+        ctx: &AntContext<'a>,
+        pheromone: &PheromoneTable,
+        explore: Option<bool>,
+    ) -> Pass2Step {
+        match self.phase {
+            Phase::Dead => return Pass2Step::Died,
+            Phase::Finished => return Pass2Step::Finished,
+            Phase::Running => {}
+        }
+        if self.order.len() == ctx.ddg.len() {
+            self.phase = Phase::Finished;
+            return Pass2Step::Finished;
+        }
+
+        let scanned = self.ready.len() as u32;
+        self.ops += OPS_PER_STEP + scanned as u64 * OPS_PER_CANDIDATE;
+
+        // Partition the ready list by issuability and constraint.
+        self.issuable_buf.clear();
+        let mut next_arrival: Option<Cycle> = None;
+        let mut has_violating = false;
+        for &(id, rc) in &self.ready {
+            if rc <= self.now {
+                if ctx.occ.rp_cost(self.pressure.peak_after(id)) <= self.target_cost {
+                    self.issuable_buf.push(id);
+                } else {
+                    has_violating = true;
+                }
+            } else {
+                next_arrival = Some(next_arrival.map_or(rc, |a: Cycle| a.min(rc)));
+            }
+        }
+
+        if self.issuable_buf.is_empty() {
+            if !has_violating {
+                // Nothing is ready at this cycle at all: a *necessary*
+                // stall, forced by latencies — every ant may take it.
+                let rc = next_arrival.expect("ready list cannot be empty mid-construction");
+                self.now = rc;
+                return Pass2Step::Stalled {
+                    scanned,
+                    optional: false,
+                };
+            }
+            // Ready instructions exist but all of them would break the
+            // pressure constraint. Waiting for a semi-ready instruction is
+            // an *optional* stall (the paper's Figure-1 cycle-4 case);
+            // ants that may not take it are forced into the violation and
+            // terminate.
+            if self.allow_optional_stalls && self.optional_stalls < self.stall_budget(ctx) {
+                if let Some(rc) = next_arrival {
+                    self.optional_stalls += 1;
+                    self.now = rc;
+                    return Pass2Step::Stalled {
+                        scanned,
+                        optional: true,
+                    };
+                }
+            }
+            self.phase = Phase::Dead;
+            return Pass2Step::Died;
+        }
+
+        // Optional-stall heuristic (Section IV-C): when a semi-ready
+        // instruction would relieve pressure more than any issuable one,
+        // consider waiting for it — with a probability that shrinks as the
+        // stall budget is consumed.
+        if let Some(arrival) = next_arrival {
+            if self.allow_optional_stalls
+                && has_violating
+                && self.optional_stalls < self.stall_budget(ctx)
+            {
+                let semi_would_help = self
+                    .ready
+                    .iter()
+                    .filter(|&&(_, rc)| rc > self.now)
+                    .any(|&(id, _)| net_total(&self.pressure, id) < 0);
+                let issuable_min = self
+                    .issuable_buf
+                    .iter()
+                    .map(|&id| net_total(&self.pressure, id))
+                    .min()
+                    .unwrap_or(0);
+                if semi_would_help && issuable_min >= 0 {
+                    let budget = self.stall_budget(ctx).max(1);
+                    let p = 0.75 * (1.0 - self.optional_stalls as f64 / budget as f64);
+                    if self.rng.gen::<f64>() < p {
+                        self.optional_stalls += 1;
+                        self.now = arrival;
+                        return Pass2Step::Stalled {
+                            scanned,
+                            optional: true,
+                        };
+                    }
+                }
+            }
+        }
+
+        // Issue via the ACO selection rule.
+        let explored = explore.unwrap_or_else(|| self.rng.gen::<f64>() > ctx.cfg.q0);
+        let eval = HeuristicEval::new(self.heuristic, ctx.analysis, ctx.occ);
+        let pos = select(
+            &mut self.rng,
+            pheromone,
+            self.last,
+            &self.issuable_buf,
+            &eval,
+            &self.pressure,
+            ctx.cfg.beta,
+            explored,
+        );
+        let id = self.issuable_buf[pos];
+        let ready_pos = self
+            .ready
+            .iter()
+            .position(|&(r, _)| r == id)
+            .expect("issuable instruction is in the ready list");
+        self.ready.swap_remove(ready_pos);
+        self.cycles[id.index()] = self.now;
+        self.pressure.issue(id);
+        self.order.push(id);
+        self.last = Some(id);
+        let mut succ_ops = 0u32;
+        for &(s, _) in ctx.ddg.succs(id) {
+            succ_ops += 1;
+            self.pending[s.index()] -= 1;
+            if self.pending[s.index()] == 0 {
+                let rc = ctx
+                    .ddg
+                    .preds(s)
+                    .iter()
+                    .map(|&(p, lat)| self.cycles[p.index()] + lat as Cycle)
+                    .max()
+                    .unwrap_or(0);
+                self.ready.push((s, rc));
+            }
+        }
+        self.ops += succ_ops as u64 * OPS_PER_SUCC;
+        self.now += 1;
+        if self.order.len() == ctx.ddg.len() {
+            self.phase = Phase::Finished;
+        }
+        Pass2Step::Issued {
+            scanned,
+            succ_ops,
+            explored,
+        }
+    }
+
+    /// Runs the construction until it finishes or dies (sequential driver).
+    /// Returns `None` for a dead ant.
+    pub fn run(&mut self, ctx: &AntContext<'a>, pheromone: &PheromoneTable) -> Option<Pass2Result> {
+        loop {
+            match self.step(ctx, pheromone, None) {
+                Pass2Step::Died => return None,
+                Pass2Step::Finished => return Some(self.result()),
+                Pass2Step::Issued { .. } | Pass2Step::Stalled { .. } => {}
+            }
+        }
+    }
+
+    /// The completed result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ant has not finished.
+    pub fn result(&self) -> Pass2Result {
+        assert!(self.finished(), "result of an unfinished pass-2 ant");
+        let schedule = Schedule::from_cycles(self.cycles.clone());
+        Pass2Result {
+            length: schedule.length(),
+            order: self.order.clone(),
+            prp: self.pressure.peak(),
+            schedule,
+        }
+    }
+
+    /// Abstract operations executed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Current ready-list length.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+}
+
+/// Total (all-class) net pressure change of issuing `id` now.
+fn net_total(pressure: &PressureTracker<'_>, id: InstrId) -> i32 {
+    pressure.net_change(id).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use list_sched::RegionAnalysis;
+    use sched_ir::figure1;
+
+    fn setup(ddg: &Ddg) -> (RegionAnalysis, RegUniverse, OccupancyModel, AcoConfig) {
+        (
+            RegionAnalysis::new(ddg),
+            RegUniverse::new(ddg),
+            OccupancyModel::vega_like(),
+            AcoConfig::small(7),
+        )
+    }
+
+    #[test]
+    fn pass1_ant_builds_valid_orders() {
+        let ddg = figure1::ddg();
+        let (analysis, universe, occ, cfg) = setup(&ddg);
+        let ctx = AntContext {
+            ddg: &ddg,
+            analysis: &analysis,
+            universe: &universe,
+            occ: &occ,
+            cfg: &cfg,
+        };
+        let pher = PheromoneTable::new(ddg.len(), 1.0);
+        for seed in 0..20 {
+            let mut ant = Pass1Ant::new(&ctx, Heuristic::LastUseCount, seed);
+            let r = ant.run(&ctx, &pher);
+            assert_eq!(r.order.len(), 7);
+            // Precedence check.
+            let mut pos = vec![0usize; 7];
+            for (i, id) in r.order.iter().enumerate() {
+                pos[id.index()] = i;
+            }
+            for id in ddg.ids() {
+                for &(s, _) in ddg.succs(id) {
+                    assert!(pos[id.index()] < pos[s.index()]);
+                }
+            }
+            assert!(r.prp[0] >= 3, "figure-1 PRP is at least 3");
+            assert!(ant.ops() > 0);
+        }
+    }
+
+    #[test]
+    fn pass1_reset_reproduces_same_seed() {
+        let ddg = figure1::ddg();
+        let (analysis, universe, occ, cfg) = setup(&ddg);
+        let ctx = AntContext {
+            ddg: &ddg,
+            analysis: &analysis,
+            universe: &universe,
+            occ: &occ,
+            cfg: &cfg,
+        };
+        let pher = PheromoneTable::new(ddg.len(), 1.0);
+        let mut ant = Pass1Ant::new(&ctx, Heuristic::CriticalPath, 5);
+        let first = ant.run(&ctx, &pher);
+        ant.reset(&ctx, 5);
+        let second = ant.run(&ctx, &pher);
+        assert_eq!(first.order, second.order);
+        assert_eq!(first.cost, second.cost);
+    }
+
+    #[test]
+    fn pass2_ant_respects_latencies_and_constraint() {
+        let (ddg, _) = figure1::ddg_with_ids();
+        let (analysis, universe, _, cfg) = setup(&ddg);
+        // The identity-APRP model makes PRP 3 a binding constraint, as in
+        // the paper's walkthrough.
+        let occ = OccupancyModel::unit();
+        let ctx = AntContext {
+            ddg: &ddg,
+            analysis: &analysis,
+            universe: &universe,
+            occ: &occ,
+            cfg: &cfg,
+        };
+        let pher = PheromoneTable::new(ddg.len(), 1.0);
+        // Target: PRP 3 (the paper's pass-1 best).
+        let target = occ.rp_cost([3, 0]);
+        let mut finished = 0;
+        for seed in 0..40 {
+            let mut ant = Pass2Ant::new(&ctx, Heuristic::LastUseCount, seed, target, true);
+            if let Some(r) = ant.run(&ctx, &pher) {
+                finished += 1;
+                r.schedule.validate(&ddg).expect("latency-feasible");
+                assert!(occ.rp_cost(r.prp) <= target, "constraint respected");
+                assert!(r.length >= 10, "10 cycles is optimal under PRP 3");
+            }
+        }
+        assert!(finished > 0, "some ants must finish");
+    }
+
+    #[test]
+    fn pass2_ant_with_loose_target_always_finishes() {
+        let ddg = figure1::ddg();
+        let (analysis, universe, occ, cfg) = setup(&ddg);
+        let ctx = AntContext {
+            ddg: &ddg,
+            analysis: &analysis,
+            universe: &universe,
+            occ: &occ,
+            cfg: &cfg,
+        };
+        let pher = PheromoneTable::new(ddg.len(), 1.0);
+        for seed in 0..10 {
+            let mut ant = Pass2Ant::new(&ctx, Heuristic::CriticalPath, seed, u64::MAX, false);
+            let r = ant.run(&ctx, &pher).expect("unconstrained ant cannot die");
+            r.schedule.validate(&ddg).unwrap();
+        }
+    }
+
+    #[test]
+    fn pass2_ant_dies_on_impossible_target() {
+        let ddg = figure1::ddg();
+        let (analysis, universe, _, cfg) = setup(&ddg);
+        let occ = OccupancyModel::unit();
+        let ctx = AntContext {
+            ddg: &ddg,
+            analysis: &analysis,
+            universe: &universe,
+            occ: &occ,
+            cfg: &cfg,
+        };
+        let pher = PheromoneTable::new(ddg.len(), 1.0);
+        // PRP 1 is impossible (E needs two operands live).
+        let target = occ.rp_cost([1, 0]);
+        let mut ant = Pass2Ant::new(&ctx, Heuristic::LastUseCount, 3, target, true);
+        assert!(ant.run(&ctx, &pher).is_none());
+        assert!(!ant.running());
+        assert!(!ant.finished());
+    }
+
+    #[test]
+    fn pass2_kill_stops_a_running_ant() {
+        let ddg = figure1::ddg();
+        let (analysis, universe, occ, cfg) = setup(&ddg);
+        let ctx = AntContext {
+            ddg: &ddg,
+            analysis: &analysis,
+            universe: &universe,
+            occ: &occ,
+            cfg: &cfg,
+        };
+        let pher = PheromoneTable::new(ddg.len(), 1.0);
+        let mut ant = Pass2Ant::new(&ctx, Heuristic::CriticalPath, 0, u64::MAX, false);
+        ant.step(&ctx, &pher, None);
+        ant.kill();
+        assert_eq!(ant.step(&ctx, &pher, None), Pass2Step::Died);
+    }
+
+    #[test]
+    fn explore_override_is_respected_deterministically() {
+        let ddg = figure1::ddg();
+        let (analysis, universe, occ, cfg) = setup(&ddg);
+        let ctx = AntContext {
+            ddg: &ddg,
+            analysis: &analysis,
+            universe: &universe,
+            occ: &occ,
+            cfg: &cfg,
+        };
+        let pher = PheromoneTable::new(ddg.len(), 1.0);
+        let mut ant = Pass1Ant::new(&ctx, Heuristic::CriticalPath, 0);
+        let s = ant.step(&ctx, &pher, Some(false));
+        assert!(!s.explored);
+        let s = ant.step(&ctx, &pher, Some(true));
+        assert!(s.explored);
+    }
+}

@@ -1,0 +1,342 @@
+//! A host-thread-parallel ACO scheduler.
+//!
+//! The paper parallelizes ant construction on a GPU; the same independent-ants
+//! observation applies to host threads. This executor runs each
+//! iteration's ants across OS threads (crossbeam scoped threads, one chunk
+//! of the colony per thread) and merges the iteration winner under a lock.
+//!
+//! It exists as a correctness cross-check of the parallelization argument
+//! (every ant construction is independent given the iteration's pheromone
+//! snapshot) and as a practical CPU fallback: on a many-core host it
+//! speeds up wall-clock scheduling without any GPU. Results are
+//! **deterministic regardless of thread count or interleaving**: ants are
+//! seeded by colony index and the winner tie-breaks on that index.
+
+use crate::config::AcoConfig;
+use crate::construct::{AntContext, Pass1Ant, Pass2Ant, Pass2Step};
+use crate::pheromone::PheromoneTable;
+use crate::result::{AcoResult, PassStats};
+use crate::sequential::{ant_seed, pass2_target};
+use list_sched::{Heuristic, ListScheduler, RegionAnalysis};
+use machine_model::OccupancyModel;
+use parking_lot::Mutex;
+use reg_pressure::RegUniverse;
+use sched_ir::{Cycle, Ddg, InstrId, Schedule};
+
+/// Winner candidate: `(objective, colony index, order, schedule)`.
+type Candidate = (u64, u32, Vec<InstrId>, Option<Schedule>);
+
+/// Merges a candidate into the shared winner slot (lower objective wins;
+/// colony index breaks ties so the result is scheduling-independent).
+fn merge(winner: &Mutex<Option<Candidate>>, cand: Candidate) {
+    let mut w = winner.lock();
+    let better = match &*w {
+        None => true,
+        Some((cost, idx, _, _)) => cand.0 < *cost || (cand.0 == *cost && cand.1 < *idx),
+    };
+    if better {
+        *w = Some(cand);
+    }
+}
+
+/// The host-thread-parallel two-pass ACO scheduler.
+///
+/// # Example
+///
+/// ```
+/// use aco::{AcoConfig, HostParallelScheduler};
+/// use machine_model::OccupancyModel;
+/// use sched_ir::figure1;
+///
+/// let ddg = figure1::ddg();
+/// let occ = OccupancyModel::unit();
+/// let result = HostParallelScheduler::new(AcoConfig::small(1), 2).schedule(&ddg, &occ);
+/// result.schedule.validate(&ddg).unwrap();
+/// assert_eq!(result.prp[0], 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostParallelScheduler {
+    cfg: AcoConfig,
+    threads: usize,
+}
+
+impl HostParallelScheduler {
+    /// Creates a scheduler distributing each iteration's
+    /// `cfg.sequential_ants` ants over `threads` host threads.
+    pub fn new(cfg: AcoConfig, threads: usize) -> HostParallelScheduler {
+        HostParallelScheduler {
+            cfg,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcoConfig {
+        &self.cfg
+    }
+
+    /// Schedules a region, running ant constructions across host threads.
+    pub fn schedule(&mut self, ddg: &Ddg, occ: &OccupancyModel) -> AcoResult {
+        let analysis = RegionAnalysis::new(ddg);
+        let universe = RegUniverse::new(ddg);
+        let ctx = AntContext {
+            ddg,
+            analysis: &analysis,
+            universe: &universe,
+            occ,
+            cfg: &self.cfg,
+        };
+
+        let initial =
+            ListScheduler::new(Heuristic::AmdMaxOccupancy).schedule_with(ddg, occ, &analysis);
+        if ddg.len() <= 1 {
+            return AcoResult::trivial(ddg, occ, initial, 0.0);
+        }
+
+        // ---- Pass 1 ----
+        let rp_lb = occ.rp_cost_lb(ddg.rp_lower_bound());
+        let mut best_order = initial.order.clone();
+        let mut best_cost = occ.rp_cost(initial.prp);
+        let mut pheromone = PheromoneTable::new(ddg.len(), self.cfg.initial_pheromone);
+        let mut pass1 = PassStats::default();
+        if best_cost > rp_lb {
+            let budget = self.cfg.termination.budget(ddg.len());
+            let mut no_improve = 0u32;
+            while pass1.iterations < self.cfg.termination.max_iterations {
+                pass1.iterations += 1;
+                let winner = self.run_pass1_iteration(&ctx, &pheromone, pass1.iterations);
+                let (wcost, worder) = winner.expect("at least one ant per iteration");
+                pheromone.evaporate(self.cfg.decay, self.cfg.tau_min);
+                pheromone.deposit_order(&worder, self.cfg.deposit, self.cfg.tau_max);
+                if wcost < best_cost {
+                    best_cost = wcost;
+                    best_order = worder;
+                    pass1.improved = true;
+                    no_improve = 0;
+                } else {
+                    no_improve += 1;
+                }
+                if best_cost <= rp_lb {
+                    pass1.hit_lb = true;
+                    break;
+                }
+                if no_improve >= budget {
+                    break;
+                }
+            }
+        } else {
+            pass1.hit_lb = true;
+        }
+        pass1.best_cost = best_cost;
+
+        // ---- Pass 2 ----
+        let mut best_schedule = Schedule::from_order(ddg, &best_order);
+        let mut best_length = best_schedule.length();
+        let mut best_final_order = best_order.clone();
+        let target_cost = pass2_target(&self.cfg, occ, best_cost);
+        let len_lb: Cycle = ddg.schedule_length_lb();
+        let mut pass2 = PassStats::default();
+        let gate = self.cfg.pass2_gate_cycles.max(1) as Cycle;
+        if best_length >= len_lb + gate {
+            pheromone.reset();
+            for h in Heuristic::ALL {
+                let mut greedy = Pass2Ant::new(&ctx, h, 0, target_cost, true);
+                greedy.set_stall_budget(u32::MAX);
+                while matches!(
+                    greedy.step(&ctx, &pheromone, Some(false)),
+                    Pass2Step::Issued { .. } | Pass2Step::Stalled { .. }
+                ) {}
+                if greedy.finished() {
+                    let g = greedy.result();
+                    if g.length < best_length {
+                        best_length = g.length;
+                        best_schedule = g.schedule;
+                        best_final_order = g.order;
+                    }
+                }
+            }
+            let budget = self.cfg.termination.budget(ddg.len());
+            let mut no_improve = 0u32;
+            while pass2.iterations < self.cfg.termination.max_iterations {
+                pass2.iterations += 1;
+                let winner =
+                    self.run_pass2_iteration(&ctx, &pheromone, pass2.iterations, target_cost);
+                pheromone.evaporate(self.cfg.decay, self.cfg.tau_min);
+                let improved = match winner {
+                    Some((wlen, _, worder, Some(wsched))) => {
+                        pheromone.deposit_order(&worder, self.cfg.deposit, self.cfg.tau_max);
+                        if (wlen as Cycle) < best_length {
+                            best_length = wlen as Cycle;
+                            best_schedule = wsched;
+                            best_final_order = worder;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    _ => false,
+                };
+                if improved {
+                    pass2.improved = true;
+                    no_improve = 0;
+                } else {
+                    no_improve += 1;
+                }
+                if best_length <= len_lb {
+                    pass2.hit_lb = true;
+                    break;
+                }
+                if no_improve >= budget {
+                    break;
+                }
+            }
+        } else if best_length <= len_lb {
+            pass2.hit_lb = true;
+        } else {
+            pass2.gated = true;
+        }
+        pass2.best_cost = best_length as u64;
+
+        let prp = reg_pressure::prp_of_order(ddg, &best_final_order);
+        AcoResult {
+            occupancy: occ.occupancy(prp),
+            prp,
+            length: best_length,
+            order: best_final_order,
+            schedule: best_schedule,
+            initial,
+            pass1,
+            pass2,
+            ops: 0,
+            time_us: 0.0,
+        }
+    }
+
+    /// Runs one pass-1 iteration's ants across threads; returns the winner.
+    fn run_pass1_iteration(
+        &self,
+        ctx: &AntContext<'_>,
+        pheromone: &PheromoneTable,
+        iteration: u32,
+    ) -> Option<(u64, Vec<InstrId>)> {
+        let winner: Mutex<Option<Candidate>> = Mutex::new(None);
+        let total = self.cfg.sequential_ants;
+        let chunk = (total as usize).div_ceil(self.threads) as u32;
+        crossbeam::scope(|scope| {
+            for t in 0..self.threads as u32 {
+                let winner = &winner;
+                scope.spawn(move |_| {
+                    let lo = t * chunk;
+                    let hi = (lo + chunk).min(total);
+                    for a in lo..hi {
+                        let mut ant = Pass1Ant::new(
+                            ctx,
+                            ctx.cfg.heuristic,
+                            ant_seed(ctx.cfg.seed, 1, iteration, a),
+                        );
+                        let r = ant.run(ctx, pheromone);
+                        merge(winner, (r.cost, a, r.order, None));
+                    }
+                });
+            }
+        })
+        .expect("ant threads never panic");
+        winner.into_inner().map(|(c, _, o, _)| (c, o))
+    }
+
+    /// Runs one pass-2 iteration's ants across threads; returns the winner.
+    fn run_pass2_iteration(
+        &self,
+        ctx: &AntContext<'_>,
+        pheromone: &PheromoneTable,
+        iteration: u32,
+        target_cost: u64,
+    ) -> Option<Candidate> {
+        let winner: Mutex<Option<Candidate>> = Mutex::new(None);
+        let total = self.cfg.sequential_ants;
+        let chunk = (total as usize).div_ceil(self.threads) as u32;
+        crossbeam::scope(|scope| {
+            for t in 0..self.threads as u32 {
+                let winner = &winner;
+                scope.spawn(move |_| {
+                    let lo = t * chunk;
+                    let hi = (lo + chunk).min(total);
+                    for a in lo..hi {
+                        // Heuristic varies across the colony as across
+                        // wavefront groups.
+                        let h = Heuristic::ALL[a as usize % Heuristic::ALL.len()];
+                        let mut ant = Pass2Ant::new(
+                            ctx,
+                            h,
+                            ant_seed(ctx.cfg.seed, 2, iteration, a),
+                            target_cost,
+                            true,
+                        );
+                        if let Some(r) = ant.run(ctx, pheromone) {
+                            merge(winner, (r.length as u64, a, r.order, Some(r.schedule)));
+                        }
+                    }
+                });
+            }
+        })
+        .expect("ant threads never panic");
+        winner.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_and_deterministic_across_thread_counts() {
+        let occ = OccupancyModel::vega_like();
+        let ddg = workloads::patterns::sized(90, 5);
+        let cfg = AcoConfig {
+            blocks: 4,
+            ..AcoConfig::paper(3)
+        };
+        let one = HostParallelScheduler::new(cfg, 1).schedule(&ddg, &occ);
+        let four = HostParallelScheduler::new(cfg, 4).schedule(&ddg, &occ);
+        one.schedule.validate(&ddg).unwrap();
+        four.schedule.validate(&ddg).unwrap();
+        assert_eq!(
+            one.order, four.order,
+            "thread count must not change the result"
+        );
+        assert_eq!(one.length, four.length);
+        assert_eq!(one.prp, four.prp);
+    }
+
+    #[test]
+    fn figure1_optimum_found() {
+        let ddg = sched_ir::figure1::ddg();
+        let occ = OccupancyModel::unit();
+        let r = HostParallelScheduler::new(AcoConfig::small(1), 3).schedule(&ddg, &occ);
+        assert_eq!(r.prp[0], 3);
+        assert_eq!(r.length, 10);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let s = HostParallelScheduler::new(AcoConfig::small(0), 0);
+        assert_eq!(s.threads, 1);
+    }
+
+    #[test]
+    fn quality_matches_sequential_scheduler() {
+        // Same colony, same seeds, same selection rules: the host-parallel
+        // pass-1 result must equal the sequential scheduler's.
+        use crate::sequential::SequentialScheduler;
+        let occ = OccupancyModel::vega_like();
+        let ddg = workloads::patterns::sized(80, 21);
+        let cfg = AcoConfig {
+            blocks: 4,
+            ..AcoConfig::paper(9)
+        };
+        let seq = SequentialScheduler::new(cfg).schedule(&ddg, &occ);
+        let par = HostParallelScheduler::new(cfg, 2).schedule(&ddg, &occ);
+        assert_eq!(seq.pass1.best_cost, par.pass1.best_cost);
+        assert_eq!(seq.pass1.iterations, par.pass1.iterations);
+    }
+}

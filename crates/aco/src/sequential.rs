@@ -1,0 +1,388 @@
+//! The sequential (CPU) two-pass ACO scheduler of Shobaki et al. 2022,
+//! which the paper parallelizes.
+
+use crate::config::AcoConfig;
+use crate::construct::{AntContext, Pass1Ant, Pass2Ant};
+use crate::pheromone::PheromoneTable;
+use crate::result::{AcoResult, PassStats};
+use gpu_sim::CpuSpec;
+use list_sched::{Heuristic, ListScheduler, RegionAnalysis};
+use machine_model::OccupancyModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reg_pressure::RegUniverse;
+use sched_ir::{Cycle, Ddg, InstrId, Schedule};
+
+/// Abstract operations per pheromone-table entry touched during
+/// evaporation + deposit.
+const OPS_PER_PHEROMONE_ENTRY: u64 = 1;
+
+/// Pass-2 target cost, relaxed to the configured kernel occupancy cap:
+/// pressure below the cap's APRP band buys nothing kernel-wide.
+pub(crate) fn pass2_target(cfg: &AcoConfig, occ: &OccupancyModel, pass1_cost: u64) -> u64 {
+    match cfg.occupancy_cap {
+        None => pass1_cost,
+        Some(cap) => {
+            let prp = [
+                occ.max_prp_for_occupancy(sched_ir::RegClass::Vgpr, cap)
+                    .unwrap_or(0),
+                occ.max_prp_for_occupancy(sched_ir::RegClass::Sgpr, cap)
+                    .unwrap_or(0),
+            ];
+            pass1_cost.max(occ.rp_cost(prp))
+        }
+    }
+}
+
+/// Derives a per-ant RNG seed from the base seed, pass, iteration and ant
+/// index (splitmix64 finalizer).
+pub(crate) fn ant_seed(base: u64, pass: u32, iteration: u32, ant: u32) -> u64 {
+    let mut z = base
+        ^ (pass as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (iteration as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ (ant as u64).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The sequential two-pass ACO scheduler.
+///
+/// Pass 1 searches for a minimum-APRP-cost instruction order; pass 2
+/// searches for the shortest latency-feasible schedule that keeps the
+/// pass-1 cost (Section IV-A). Termination per pass: a pre-computed lower
+/// bound is reached, or `termination` iterations elapse without
+/// improvement.
+///
+/// # Example
+///
+/// ```
+/// use aco::{AcoConfig, SequentialScheduler};
+/// use machine_model::OccupancyModel;
+/// use sched_ir::figure1;
+///
+/// let ddg = figure1::ddg();
+/// let occ = OccupancyModel::unit();
+/// let result = SequentialScheduler::new(AcoConfig::small(42)).schedule(&ddg, &occ);
+/// result.schedule.validate(&ddg).unwrap();
+/// assert_eq!(result.prp[0], 3); // the paper's optimal PRP
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequentialScheduler {
+    cfg: AcoConfig,
+}
+
+impl SequentialScheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(cfg: AcoConfig) -> SequentialScheduler {
+        SequentialScheduler { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcoConfig {
+        &self.cfg
+    }
+
+    /// Schedules a region, returning the best schedule found together with
+    /// per-pass statistics and the modeled CPU time.
+    pub fn schedule(&mut self, ddg: &Ddg, occ: &OccupancyModel) -> AcoResult {
+        let analysis = RegionAnalysis::new(ddg);
+        let universe = RegUniverse::new(ddg);
+        let ctx = AntContext {
+            ddg,
+            analysis: &analysis,
+            universe: &universe,
+            occ,
+            cfg: &self.cfg,
+        };
+        let mut total_ops: u64 = 0;
+
+        // Initial schedule from the production heuristic.
+        let initial =
+            ListScheduler::new(Heuristic::AmdMaxOccupancy).schedule_with(ddg, occ, &analysis);
+        total_ops += (ddg.len() as u64 + ddg.edge_count() as u64) * 4;
+
+        if ddg.len() <= 1 {
+            return AcoResult::trivial(ddg, occ, initial, CpuSpec::default().op_time_us(total_ops));
+        }
+
+        // ---- Pass 1: minimize the APRP register-pressure cost. ----
+        let rp_lb = occ.rp_cost_lb(ddg.rp_lower_bound());
+        let mut best_order = initial.order.clone();
+        let mut best_cost = occ.rp_cost(initial.prp);
+        let mut pheromone = PheromoneTable::new(ddg.len(), self.cfg.initial_pheromone);
+        let mut pass1 = PassStats::default();
+        let ops_before_p1 = total_ops;
+        if best_cost > rp_lb {
+            let budget = self.cfg.termination.budget(ddg.len());
+            let mut no_improve = 0u32;
+            let mut ant = Pass1Ant::new(&ctx, self.cfg.heuristic, 0);
+            while pass1.iterations < self.cfg.termination.max_iterations {
+                pass1.iterations += 1;
+                let mut winner: Option<(u64, Vec<InstrId>)> = None;
+                for a in 0..self.cfg.sequential_ants {
+                    ant.reset(&ctx, ant_seed(self.cfg.seed, 1, pass1.iterations, a));
+                    let r = ant.run(&ctx, &pheromone);
+                    if winner.as_ref().is_none_or(|(c, _)| r.cost < *c) {
+                        winner = Some((r.cost, r.order));
+                    }
+                }
+                let (wcost, worder) = winner.expect("at least one ant per iteration");
+                pheromone.evaporate(self.cfg.decay, self.cfg.tau_min);
+                pheromone.deposit_order(&worder, self.cfg.deposit, self.cfg.tau_max);
+                total_ops += pheromone.entries() as u64 * OPS_PER_PHEROMONE_ENTRY;
+                if wcost < best_cost {
+                    best_cost = wcost;
+                    best_order = worder;
+                    pass1.improved = true;
+                    no_improve = 0;
+                } else {
+                    no_improve += 1;
+                }
+                if best_cost <= rp_lb {
+                    pass1.hit_lb = true;
+                    break;
+                }
+                if no_improve >= budget {
+                    break;
+                }
+            }
+            total_ops += ant.ops();
+        } else {
+            pass1.hit_lb = true;
+        }
+        pass1.best_cost = best_cost;
+        pass1.time_us = CpuSpec::default().op_time_us(total_ops - ops_before_p1);
+
+        // ---- Between passes: stalls are added to the best-RP order. ----
+        let mut best_schedule = Schedule::from_order(ddg, &best_order);
+        let mut best_length = best_schedule.length();
+        let mut best_final_order = best_order.clone();
+        let target_cost = pass2_target(&self.cfg, occ, best_cost);
+
+        // ---- Pass 2: minimize length under the pass-1 cost constraint. ----
+        let len_lb: Cycle = ddg.schedule_length_lb();
+        let mut pass2 = PassStats::default();
+        let ops_before_p2 = total_ops;
+        let gate = self.cfg.pass2_gate_cycles.max(1) as Cycle;
+        if best_length >= len_lb + gate {
+            pheromone.reset();
+            let budget = self.cfg.termination.budget(ddg.len());
+            let mut no_improve = 0u32;
+            let mut rng = SmallRng::seed_from_u64(ant_seed(self.cfg.seed, 2, 0, 0));
+            while pass2.iterations < self.cfg.termination.max_iterations {
+                pass2.iterations += 1;
+                let mut winner: Option<(Cycle, Vec<InstrId>, Schedule)> = None;
+                for a in 0..self.cfg.sequential_ants {
+                    // In the sequential algorithm the guiding heuristic is
+                    // varied across ants the same way the parallel one
+                    // varies it across wavefronts.
+                    let h = Heuristic::ALL[rng.gen_range(0..Heuristic::ALL.len())];
+                    let mut ant = Pass2Ant::new(
+                        &ctx,
+                        h,
+                        ant_seed(self.cfg.seed, 2, pass2.iterations, a),
+                        target_cost,
+                        true,
+                    );
+                    if let Some(r) = ant.run(&ctx, &pheromone) {
+                        if winner.as_ref().is_none_or(|(l, _, _)| r.length < *l) {
+                            winner = Some((r.length, r.order, r.schedule));
+                        }
+                    }
+                    total_ops += ant.ops();
+                }
+                pheromone.evaporate(self.cfg.decay, self.cfg.tau_min);
+                total_ops += pheromone.entries() as u64 * OPS_PER_PHEROMONE_ENTRY;
+                let improved = match winner {
+                    Some((wlen, worder, wsched)) => {
+                        pheromone.deposit_order(&worder, self.cfg.deposit, self.cfg.tau_max);
+                        if wlen < best_length {
+                            best_length = wlen;
+                            best_schedule = wsched;
+                            best_final_order = worder;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    None => false,
+                };
+                if improved {
+                    pass2.improved = true;
+                    no_improve = 0;
+                } else {
+                    no_improve += 1;
+                }
+                if best_length <= len_lb {
+                    pass2.hit_lb = true;
+                    break;
+                }
+                if no_improve >= budget {
+                    break;
+                }
+            }
+        } else if best_length <= len_lb {
+            pass2.hit_lb = true;
+        } else {
+            pass2.gated = true;
+        }
+        pass2.best_cost = best_length as u64;
+        pass2.time_us = CpuSpec::default().op_time_us(total_ops - ops_before_p2);
+
+        let prp = reg_pressure::prp_of_order(ddg, &best_final_order);
+        AcoResult {
+            occupancy: occ.occupancy(prp),
+            prp,
+            length: best_length,
+            order: best_final_order,
+            schedule: best_schedule,
+            initial,
+            pass1,
+            pass2,
+            ops: total_ops,
+            time_us: CpuSpec::default().op_time_us(total_ops),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_ir::figure1;
+
+    #[test]
+    fn figure1_finds_prp3_length10() {
+        // The identity-APRP model reproduces the paper's walkthrough, where
+        // PRP 3 is strictly better than PRP 4.
+        let ddg = figure1::ddg();
+        let occ = OccupancyModel::unit();
+        let r = SequentialScheduler::new(AcoConfig::small(1)).schedule(&ddg, &occ);
+        r.schedule.validate(&ddg).unwrap();
+        assert_eq!(r.prp[0], 3, "paper's optimal PRP");
+        assert_eq!(r.length, 10, "paper's optimal constrained length");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let ddg = workloads::patterns::sized(60, 3);
+        let occ = OccupancyModel::vega_like();
+        let a = SequentialScheduler::new(AcoConfig::small(9)).schedule(&ddg, &occ);
+        let b = SequentialScheduler::new(AcoConfig::small(9)).schedule(&ddg, &occ);
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.length, b.length);
+    }
+
+    #[test]
+    fn aco_never_worse_than_its_initial_schedule() {
+        let occ = OccupancyModel::vega_like();
+        for seed in 0..6u64 {
+            let ddg = workloads::patterns::sized(50 + seed as usize * 17, seed);
+            let r = SequentialScheduler::new(AcoConfig::small(seed)).schedule(&ddg, &occ);
+            r.schedule.validate(&ddg).unwrap();
+            let init_cost = occ.rp_cost(r.initial.prp);
+            assert!(
+                occ.rp_cost(r.prp) <= init_cost,
+                "seed {seed}: RP cost regressed {} -> {}",
+                init_cost,
+                occ.rp_cost(r.prp)
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_regions_bypass_aco() {
+        use sched_ir::DdgBuilder;
+        let mut b = DdgBuilder::new();
+        b.instr("only", [], []);
+        let ddg = b.build().unwrap();
+        let occ = OccupancyModel::vega_like();
+        let r = SequentialScheduler::new(AcoConfig::small(0)).schedule(&ddg, &occ);
+        assert_eq!(r.length, 1);
+        assert_eq!(r.pass1.iterations, 0);
+        assert_eq!(r.pass2.iterations, 0);
+    }
+
+    #[test]
+    fn lb_hit_stops_iteration_early() {
+        // A latency-free chain: any topological order is optimal, the
+        // heuristic hits both LBs and ACO never iterates.
+        let ddg = workloads::patterns::transform_chain(1, 5, 0);
+        let occ = OccupancyModel::vega_like();
+        let r = SequentialScheduler::new(AcoConfig::small(0)).schedule(&ddg, &occ);
+        assert!(r.pass2.iterations <= 1);
+        r.schedule.validate(&ddg).unwrap();
+    }
+
+    #[test]
+    fn ops_accounting_is_nonzero_when_aco_runs() {
+        let ddg = workloads::patterns::sized(80, 11);
+        let occ = OccupancyModel::vega_like();
+        let r = SequentialScheduler::new(AcoConfig::small(2)).schedule(&ddg, &occ);
+        if r.pass1.iterations + r.pass2.iterations > 0 {
+            assert!(r.ops > 1000);
+            assert!(r.time_us > 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod cap_tests {
+    use super::*;
+    use crate::config::AcoConfig;
+
+    #[test]
+    fn pass2_target_relaxes_to_the_cap_band() {
+        let occ = OccupancyModel::vega_like();
+        let cfg = AcoConfig::small(0);
+        // Tight pass-1 cost (occupancy 10 band) stays when no cap is set...
+        let tight = occ.rp_cost([20, 0]);
+        assert_eq!(pass2_target(&cfg, &occ, tight), tight);
+        // ...and relaxes to the cap's band maximum when one is.
+        let capped_cfg = AcoConfig { occupancy_cap: Some(5), ..cfg };
+        let relaxed = pass2_target(&capped_cfg, &occ, tight);
+        assert!(relaxed > tight);
+        assert_eq!(
+            occ.occupancy([
+                occ.max_prp_for_occupancy(sched_ir::RegClass::Vgpr, 5).unwrap(),
+                0
+            ]),
+            5
+        );
+    }
+
+    #[test]
+    fn cap_never_tightens_the_target() {
+        let occ = OccupancyModel::vega_like();
+        // A pass-1 cost already looser than the cap band is kept.
+        let cfg = AcoConfig { occupancy_cap: Some(9), ..AcoConfig::small(0) };
+        let loose = occ.rp_cost([200, 0]); // occupancy 1 band
+        assert_eq!(pass2_target(&cfg, &occ, loose), loose);
+    }
+
+    #[test]
+    fn capped_scheduler_recovers_length() {
+        // On a region where ACO buys occupancy with much length, capping at
+        // the uncapped heuristic's occupancy must shorten the result.
+        let occ = OccupancyModel::vega_like();
+        for seed in 0..8u64 {
+            let ddg = workloads::patterns::sized(120, 40 + seed);
+            let cfg = AcoConfig { blocks: 8, ..AcoConfig::paper(seed) };
+            let free = SequentialScheduler::new(cfg).schedule(&ddg, &occ);
+            if free.occupancy <= free.initial.occupancy || free.length <= free.initial.length {
+                continue; // no occupancy-for-length trade on this region
+            }
+            let capped_cfg = AcoConfig { occupancy_cap: Some(free.initial.occupancy), ..cfg };
+            let capped = SequentialScheduler::new(capped_cfg).schedule(&ddg, &occ);
+            capped.schedule.validate(&ddg).unwrap();
+            assert!(
+                capped.length <= free.length,
+                "seed {seed}: cap lengthened the schedule ({} -> {})",
+                free.length,
+                capped.length
+            );
+            return; // one exercised trade is enough
+        }
+    }
+}

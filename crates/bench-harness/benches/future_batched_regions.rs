@@ -1,0 +1,51 @@
+//! Future-work projection (Section VII): "scheduling multiple regions in
+//! parallel" — one cooperative launch per pass for a whole batch of
+//! regions, with the colony's wavefront groups split across them.
+//!
+//! Not a paper table; it quantifies the paper's stated next step on the
+//! same cost model as Tables 3–5.
+
+use aco::{AcoConfig, ParallelScheduler};
+use bench_harness::{print_table, regions_in_band, SizeBand};
+use machine_model::OccupancyModel;
+use sched_ir::Ddg;
+
+const SEED: u64 = 91;
+
+fn main() {
+    let occ = OccupancyModel::vega_like();
+    let mut rows = Vec::new();
+    for (band, count) in [
+        (SizeBand::Small, 12),
+        (SizeBand::Medium, 8),
+        (SizeBand::Large, 4),
+    ] {
+        let regions = regions_in_band(band, count, SEED);
+        let refs: Vec<&Ddg> = regions.iter().collect();
+        let mut cfg = AcoConfig::paper(SEED);
+        cfg.blocks = 32;
+        cfg.pass2_gate_cycles = 1;
+        let batch = ParallelScheduler::new(cfg).schedule_batch(&refs, &occ);
+        let saving = if batch.individual_us > 0.0 {
+            100.0 * (batch.individual_us - batch.batched_us) / batch.individual_us
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            format!("{} x {}", count, band.label()),
+            format!("{:.0}", batch.individual_us),
+            format!("{:.0}", batch.batched_us),
+            format!("{saving:.1}%"),
+        ]);
+    }
+    print_table(
+        "FUTURE WORK — BATCHED MULTI-REGION SCHEDULING (one launch per pass per batch)",
+        &["batch", "individual (us)", "batched (us)", "saving"],
+        &rows,
+    );
+    println!(
+        "expected shape: the saving is largest for batches of small regions, whose\n\
+         individual launches are dominated by the fixed launch/copy overheads that\n\
+         batching shares — exactly why the paper proposes it (Section VII)."
+    );
+}

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the scheduler's hot kernels: pass-1 ant
+//! construction, pass-2 ant construction, pheromone update, and the greedy
+//! list scheduler.
+
+use aco::{AcoConfig, AntContext, Pass1Ant, Pass2Ant, PheromoneTable};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use list_sched::{Heuristic, ListScheduler, RegionAnalysis};
+use machine_model::OccupancyModel;
+use reg_pressure::RegUniverse;
+use sched_ir::InstrId;
+
+fn bench_construction(c: &mut Criterion) {
+    let ddg = workloads::patterns::sized(100, 9);
+    let analysis = RegionAnalysis::new(&ddg);
+    let universe = RegUniverse::new(&ddg);
+    let occ = OccupancyModel::vega_like();
+    let cfg = AcoConfig::small(1);
+    let ctx = AntContext {
+        ddg: &ddg,
+        analysis: &analysis,
+        universe: &universe,
+        occ: &occ,
+        cfg: &cfg,
+    };
+    let pheromone = PheromoneTable::new(ddg.len(), 1.0);
+
+    c.bench_function("pass1_ant_construction_n100", |b| {
+        b.iter_batched(
+            || Pass1Ant::new(&ctx, Heuristic::LastUseCount, 7),
+            |mut ant| ant.run(&ctx, &pheromone),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("pass2_ant_construction_n100", |b| {
+        b.iter_batched(
+            || Pass2Ant::new(&ctx, Heuristic::CriticalPath, 7, u64::MAX, true),
+            |mut ant| ant.run(&ctx, &pheromone),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pheromone(c: &mut Criterion) {
+    let order: Vec<InstrId> = (0..200).map(InstrId).collect();
+    c.bench_function("pheromone_evaporate_deposit_n200", |b| {
+        let mut table = PheromoneTable::new(200, 1.0);
+        b.iter(|| {
+            table.evaporate(0.8, 0.01);
+            table.deposit_order(&order, 1.0, 8.0);
+        })
+    });
+}
+
+fn bench_list_scheduler(c: &mut Criterion) {
+    let ddg = workloads::patterns::sized(100, 9);
+    let occ = OccupancyModel::vega_like();
+    c.bench_function("amd_list_scheduler_n100", |b| {
+        b.iter(|| ListScheduler::new(Heuristic::AmdMaxOccupancy).schedule(&ddg, &occ))
+    });
+    c.bench_function("transitive_closure_n100", |b| {
+        b.iter(|| ddg.transitive_closure())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_pheromone,
+    bench_list_scheduler
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Table 2 — schedule-quality improvement of ACO over the AMD production
+//! heuristic: aggregate occupancy and schedule length across a generated
+//! suite, plus per-kernel/per-region maxima.
+
+use bench_harness::print_table;
+use machine_model::OccupancyModel;
+use pipeline::{compile_suite, PipelineConfig, SchedulerKind};
+use workloads::{Suite, SuiteConfig};
+
+const SCALE: f64 = 0.02;
+const SEED: u64 = 2024;
+
+fn main() {
+    let suite = Suite::generate(&SuiteConfig::scaled(SEED, SCALE));
+    let occ = OccupancyModel::vega_like();
+    let mut base_cfg = PipelineConfig::paper(SchedulerKind::BaseAmd, SEED);
+    base_cfg.aco.blocks = 16;
+    let mut aco_cfg = PipelineConfig::paper(SchedulerKind::ParallelAco, SEED);
+    aco_cfg.aco.blocks = 16;
+
+    let base = compile_suite(&suite, &occ, &base_cfg);
+    let aco = compile_suite(&suite, &occ, &aco_cfg);
+
+    let occ_gain = 100.0 * (aco.total_occupancy() as f64 - base.total_occupancy() as f64)
+        / base.total_occupancy() as f64;
+    let len_red = 100.0 * (base.total_length() as f64 - aco.total_length() as f64)
+        / base.total_length() as f64;
+    let max_kernel_occ_gain = aco
+        .kernel_occupancy
+        .iter()
+        .zip(&base.kernel_occupancy)
+        .map(|(&a, &b)| 100.0 * (a as f64 - b as f64) / (b.max(1) as f64))
+        .fold(f64::MIN, f64::max);
+    let max_len_red = aco
+        .regions
+        .iter()
+        .zip(&base.regions)
+        .map(|(a, b)| 100.0 * (b.length as f64 - a.length as f64) / b.length as f64)
+        .fold(f64::MIN, f64::max);
+    // Length comparison restricted to regions where ACO did not trade
+    // length for occupancy (same final occupancy as the baseline).
+    let (same_occ_base, same_occ_aco) = aco
+        .regions
+        .iter()
+        .zip(&base.regions)
+        .filter(|(a, b)| a.occupancy == b.occupancy)
+        .fold((0u64, 0u64), |(b_sum, a_sum), (a, b)| {
+            (b_sum + b.length as u64, a_sum + a.length as u64)
+        });
+    let same_occ_red =
+        100.0 * (same_occ_base as f64 - same_occ_aco as f64) / same_occ_base.max(1) as f64;
+
+    let rows = vec![
+        vec![
+            "Regions processed by ACO in pass 1".into(),
+            aco.pass1_count().to_string(),
+        ],
+        vec![
+            "Regions processed by ACO in pass 2".into(),
+            aco.pass2_count().to_string(),
+        ],
+        vec![
+            "Overall occupancy increase".into(),
+            format!("{occ_gain:.2}%"),
+        ],
+        vec![
+            "Max. occupancy increase in any kernel".into(),
+            format!("{max_kernel_occ_gain:.2}%"),
+        ],
+        vec![
+            "Overall schedule length reduction".into(),
+            format!("{len_red:.2}%"),
+        ],
+        vec![
+            "Length reduction at equal occupancy".into(),
+            format!("{same_occ_red:.2}%"),
+        ],
+        vec![
+            "Max. schedule length reduction".into(),
+            format!("{max_len_red:.2}%"),
+        ],
+    ];
+    print_table(
+        &format!("TABLE 2 — IMPROVEMENT OF ACO RELATIVE TO AMD SCHEDULER (scale {SCALE})"),
+        &["Stat", "Value"],
+        &rows,
+    );
+    println!(
+        "paper: 1,734 / 12,192 regions; overall occupancy +0.66% (max +300% on a kernel);\n\
+         overall schedule length −5.52% (max −78.52% on a region).\n\
+         expected shape: modest aggregate gains with large improvements on individual\n\
+         hot kernels/regions — most regions are already optimally scheduled by the\n\
+         heuristic and ACO only touches the hard ones. NOTE: where our aggregate length\n\
+         delta is negative it is because ACO deliberately buys occupancy with schedule\n\
+         length (kept by the post filter when the gain is large); the equal-occupancy\n\
+         row isolates the pure ILP improvements."
+    );
+}

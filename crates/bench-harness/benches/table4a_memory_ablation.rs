@@ -1,0 +1,78 @@
+//! Table 4.a — improvement in ACO scheduling time from the memory
+//! optimizations of Section V-A (SoA coalescing, host-side preallocation,
+//! batched transfers, tight ready-list bounds).
+//!
+//! The entries are percentage improvements of the *unoptimized* time over
+//! the optimized time (`(t_unopt / t_opt − 1) · 100`), per pass and size
+//! band, as the paper reports them.
+
+use aco::{AcoConfig, GpuTuning, ParallelScheduler};
+use bench_harness::{print_table, regions_in_band, SizeBand};
+use machine_model::OccupancyModel;
+
+const PER_BAND: usize = 16;
+const SEED: u64 = 71;
+
+fn main() {
+    let occ = OccupancyModel::vega_like();
+    let mut overall1 = vec!["Pass 1 overall improvement".to_string()];
+    let mut max1 = vec!["Pass 1 max. improvement".to_string()];
+    let mut overall2 = vec!["Pass 2 overall improvement".to_string()];
+    let mut max2 = vec!["Pass 2 max. improvement".to_string()];
+
+    for band in SizeBand::ALL {
+        let regions = regions_in_band(band, PER_BAND, SEED);
+        let mut sum = [0.0f64; 2]; // optimized time per pass
+        let mut sum_un = [0.0f64; 2];
+        let mut best = [0.0f64; 2];
+        for (i, ddg) in regions.iter().enumerate() {
+            let mut cfg = AcoConfig::paper(SEED + i as u64);
+            cfg.blocks = 32;
+            let opt = ParallelScheduler::new(cfg).schedule(ddg, &occ);
+            cfg.tuning = GpuTuning::optimized().memory_unoptimized();
+            let unopt = ParallelScheduler::new(cfg).schedule(ddg, &occ);
+            for (p, (o, u)) in [
+                (
+                    opt.gpu.pass1_profile.total_us(),
+                    unopt.gpu.pass1_profile.total_us(),
+                ),
+                (
+                    opt.gpu.pass2_profile.total_us(),
+                    unopt.gpu.pass2_profile.total_us(),
+                ),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                if o > 0.0 && u > 0.0 {
+                    sum[p] += o;
+                    sum_un[p] += u;
+                    best[p] = best[p].max((u / o - 1.0) * 100.0);
+                }
+            }
+        }
+        let pct = |un: f64, o: f64| {
+            if o > 0.0 {
+                format!("{:.0}%", (un / o - 1.0) * 100.0)
+            } else {
+                "-".to_string()
+            }
+        };
+        overall1.push(pct(sum_un[0], sum[0]));
+        max1.push(format!("{:.0}%", best[0]));
+        overall2.push(pct(sum_un[1], sum[1]));
+        max2.push(format!("{:.0}%", best[1]));
+    }
+
+    print_table(
+        "TABLE 4.a — IMPROVEMENTS IN ACO TIME FROM MEMORY OPTIMIZATIONS",
+        &["Inst. count range", "1-49", "50-99", ">=100"],
+        &[overall1, max1, overall2, max2],
+    );
+    println!(
+        "paper: pass-1 overall 645% / 1055% / 897% (max 1163/1592/1929);\n\
+         pass-2 overall 593% / 994% / 709% (max 2647/1629/3052).\n\
+         expected shape: several-hundred-percent improvements in every band and pass —\n\
+         memory optimizations dominate all other tuning (compare Table 4.b)."
+    );
+}

@@ -1,0 +1,54 @@
+//! Table 5 — total compile time of the suite under the base AMD
+//! scheduler, sequential ACO, and parallel ACO.
+//!
+//! Compile time = per-region base compilation cost (everything that is not
+//! pre-allocation scheduling) + the modeled scheduling time of the active
+//! scheduler, with the paper's compile-time filters enabled (threshold 21).
+
+use bench_harness::print_table;
+use machine_model::OccupancyModel;
+use pipeline::{compile_suite, PipelineConfig, SchedulerKind};
+use workloads::{Suite, SuiteConfig};
+
+const SCALE: f64 = 0.02;
+const SEED: u64 = 2024;
+
+fn main() {
+    let suite = Suite::generate(&SuiteConfig::scaled(SEED, SCALE));
+    let occ = OccupancyModel::vega_like();
+
+    let mut rows = Vec::new();
+    let mut base_time = None;
+    for kind in [
+        SchedulerKind::BaseAmd,
+        SchedulerKind::SequentialAco,
+        SchedulerKind::ParallelAco,
+    ] {
+        let mut cfg = PipelineConfig::paper(kind, SEED);
+        cfg.aco.blocks = 16;
+        let run = compile_suite(&suite, &occ, &cfg);
+        let delta = base_time.map(|b: f64| 100.0 * (run.compile_time_s - b) / b);
+        if base_time.is_none() {
+            base_time = Some(run.compile_time_s);
+        }
+        rows.push(vec![
+            kind.name().to_string(),
+            match delta {
+                Some(d) => format!("{:.1} ({:+.1}%)", run.compile_time_s, d),
+                None => format!("{:.1}", run.compile_time_s),
+            },
+        ]);
+    }
+    print_table(
+        &format!("TABLE 5 — TOTAL COMPILE TIMES (scale {SCALE})"),
+        &["Scheduler", "Total Compile Time (seconds)"],
+        &rows,
+    );
+    println!(
+        "paper: Base AMD 840 s; Sequential ACO 1225 s (+45.8%); Parallel ACO 967 s (+15.1%)\n\
+         — i.e. scheduling on the GPU cuts total compile time by ~21% versus sequential\n\
+         ACO on the CPU.\n\
+         expected shape: base < parallel ACO < sequential ACO, with the parallel overhead\n\
+         a small fraction of the sequential one."
+    );
+}

@@ -1,0 +1,62 @@
+//! Table 7 — experimentation with the cycle-based compile-time filter:
+//! pass 2 runs only on regions whose input schedule is at least
+//! `threshold` cycles above the length lower bound. Higher thresholds
+//! should eliminate execution-time regressions while keeping the
+//! improvements.
+
+use bench_harness::print_table;
+use machine_model::OccupancyModel;
+use pipeline::{compile_suite, PipelineConfig, SchedulerKind};
+use workloads::{Suite, SuiteConfig};
+
+const SCALE: f64 = 0.05;
+const SEED: u64 = 77;
+
+fn main() {
+    let suite = Suite::generate(&SuiteConfig::scaled(SEED, SCALE));
+    let occ = OccupancyModel::vega_like();
+    let mut base_cfg = PipelineConfig::paper(SchedulerKind::BaseAmd, SEED);
+    base_cfg.aco.blocks = 16;
+    let base = compile_suite(&suite, &occ, &base_cfg);
+
+    let thresholds = [5u32, 10, 15, 20, 21, 25];
+    let mut imp3 = vec!["Imps. >= 3%".to_string()];
+    let mut imp5 = vec!["Imps. >= 5%".to_string()];
+    let mut imp10 = vec!["Imps. >= 10%".to_string()];
+    let mut reg3 = vec!["Regs. >= 3%".to_string()];
+    let mut reg5 = vec!["Regs. >= 5%".to_string()];
+    let mut reg10 = vec!["Regs. >= 10%".to_string()];
+    let mut maxreg = vec!["Max. Reg.".to_string()];
+
+    for &th in &thresholds {
+        let mut cfg = PipelineConfig::paper(SchedulerKind::ParallelAco, SEED);
+        cfg.aco.blocks = 16;
+        cfg.aco.pass2_gate_cycles = th;
+        let run = compile_suite(&suite, &occ, &cfg);
+        let deltas: Vec<f64> = run
+            .benchmark_throughput
+            .iter()
+            .zip(&base.benchmark_throughput)
+            .map(|(&a, &b)| 100.0 * (a - b) / b)
+            .collect();
+        imp3.push(deltas.iter().filter(|&&d| d >= 3.0).count().to_string());
+        imp5.push(deltas.iter().filter(|&&d| d >= 5.0).count().to_string());
+        imp10.push(deltas.iter().filter(|&&d| d >= 10.0).count().to_string());
+        reg3.push(deltas.iter().filter(|&&d| d <= -3.0).count().to_string());
+        reg5.push(deltas.iter().filter(|&&d| d <= -5.0).count().to_string());
+        reg10.push(deltas.iter().filter(|&&d| d <= -10.0).count().to_string());
+        let mr = deltas.iter().map(|&d| -d).fold(f64::MIN, f64::max).max(0.0);
+        maxreg.push(format!("{mr:.1}%"));
+    }
+
+    print_table(
+        "TABLE 7 — EXPERIMENTATION WITH CYCLE-BASED FILTER",
+        &["Cycles", "5", "10", "15", "20", "21", "25"],
+        &[imp3, imp5, imp10, reg3, reg5, reg10, maxreg],
+    );
+    println!(
+        "paper: improvement counts stay roughly flat across thresholds while regressions\n\
+         vanish as the threshold grows (max regression 14.5% at 5 cycles -> 0.7% at 21);\n\
+         21 cycles is the paper's operating point."
+    );
+}

@@ -1,0 +1,36 @@
+//! A deterministic SIMT GPU *cost* simulator.
+//!
+//! The paper runs its parallel ACO scheduling kernel on an AMD Radeon VII
+//! and reports wall-clock speedups against a sequential CPU implementation.
+//! This crate replaces that hardware with an analytic cost model capturing
+//! the first-order mechanisms the paper's Sections V-A/V-B attribute the
+//! results to:
+//!
+//! * **Lockstep wavefront execution** — a wavefront's cost per step is the
+//!   maximum over its 64 lanes, and *divergent* control paths serialize
+//!   ([`WavefrontCost::diverge`]).
+//! * **Memory coalescing** — a wavefront access to consecutive addresses
+//!   (SoA layout) is one transaction; a scattered (AoS) access costs one
+//!   transaction per active lane ([`WavefrontCost::mem_access`]).
+//! * **Launch / copy / allocation overheads** — fixed per-call costs plus
+//!   bandwidth-proportional transfer time ([`GpuSpec::transfer_time_us`],
+//!   [`GpuSpec::alloc_time_us`]), which dominate small regions and explain
+//!   why parallel speedup grows with region size (Table 3).
+//! * **CU/SIMD scheduling** — blocks are distributed over compute units and
+//!   their SIMD units; the kernel finishes when the slowest SIMD drains
+//!   ([`GpuSpec::kernel_cycles`]).
+//!
+//! The model is *relative*, not cycle-accurate: it is calibrated so the
+//! shapes of the paper's tables (who wins, how speedup scales with size,
+//! pass-1 vs pass-2 gaps) reproduce, not the absolute microsecond values.
+//!
+//! Nothing in this crate knows about scheduling or ACO: it prices abstract
+//! per-wavefront work and is reusable for any kernel-shaped workload.
+
+pub mod cpu;
+pub mod spec;
+pub mod wavefront;
+
+pub use cpu::CpuSpec;
+pub use spec::{GpuSpec, LaunchProfile};
+pub use wavefront::{MemLayout, WavefrontCost};

@@ -1,0 +1,195 @@
+//! GPU hardware parameters and launch-level cost aggregation.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated GPU.
+///
+/// Defaults ([`GpuSpec::radeon_vii`]) model the paper's target: a Radeon VII
+/// (Vega 20) with 60 CUs of 4 SIMD units each, 64-lane wavefronts, 1.8 GHz.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Number of compute units.
+    pub cus: u32,
+    /// SIMD units per CU (each executes one wavefront at a time).
+    pub simds_per_cu: u32,
+    /// Threads per wavefront.
+    pub wavefront_size: u32,
+    /// Shader clock in GHz.
+    pub clock_ghz: f64,
+    /// Cycles one SIMT arithmetic/control step costs a wavefront.
+    pub alu_op_cycles: u64,
+    /// Cycles one memory *transaction* costs a wavefront.
+    pub mem_transaction_cycles: u64,
+    /// Fixed cost of launching a kernel, in microseconds.
+    pub launch_overhead_us: f64,
+    /// Fixed per-call cost of a host↔device copy, in microseconds.
+    pub copy_call_overhead_us: f64,
+    /// Host↔device copy bandwidth, GiB/s.
+    pub copy_bandwidth_gibps: f64,
+    /// Fixed per-call cost of a *device-side* dynamic allocation, in
+    /// microseconds. Device allocators are notoriously slow (the paper
+    /// cites ScatterAlloc); the optimized implementation avoids them
+    /// entirely.
+    pub device_alloc_overhead_us: f64,
+    /// Fixed per-call cost of a host-side allocation, in microseconds.
+    pub host_alloc_overhead_us: f64,
+}
+
+impl GpuSpec {
+    /// The Radeon VII-like model used by all experiments.
+    pub fn radeon_vii() -> GpuSpec {
+        GpuSpec {
+            cus: 60,
+            simds_per_cu: 4,
+            wavefront_size: 64,
+            clock_ghz: 1.8,
+            alu_op_cycles: 4,
+            mem_transaction_cycles: 12,
+            launch_overhead_us: 12.0,
+            copy_call_overhead_us: 3.0,
+            copy_bandwidth_gibps: 12.0,
+            device_alloc_overhead_us: 15.0,
+            host_alloc_overhead_us: 0.15,
+        }
+    }
+
+    /// Maximum number of wavefronts executing concurrently.
+    pub fn concurrent_wavefronts(&self) -> u32 {
+        self.cus * self.simds_per_cu
+    }
+
+    /// Kernel execution cycles for one launch given each wavefront's total
+    /// cycle count.
+    ///
+    /// Wavefronts (= blocks, as in the paper's 64-thread blocks) are
+    /// assigned round-robin to CUs, then to SIMD units within a CU; the
+    /// kernel completes when the most loaded SIMD drains.
+    pub fn kernel_cycles(&self, wavefront_cycles: &[u64]) -> u64 {
+        if wavefront_cycles.is_empty() {
+            return 0;
+        }
+        let slots = self.concurrent_wavefronts() as usize;
+        let used = slots.min(wavefront_cycles.len());
+        let mut simd_load = vec![0u64; used];
+        for (i, &c) in wavefront_cycles.iter().enumerate() {
+            simd_load[i % used] += c;
+        }
+        simd_load.into_iter().max().unwrap_or(0)
+    }
+
+    /// Converts device cycles to microseconds.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e3)
+    }
+
+    /// Wall-clock microseconds of one kernel launch executing the given
+    /// wavefront loads (launch overhead included).
+    pub fn kernel_time_us(&self, wavefront_cycles: &[u64]) -> f64 {
+        self.launch_overhead_us + self.cycles_to_us(self.kernel_cycles(wavefront_cycles))
+    }
+
+    /// Microseconds to move `bytes` across `calls` host↔device copy calls.
+    ///
+    /// Batching (fewer calls for the same bytes) is one of the paper's
+    /// memory optimizations: thousands of per-variable copies are
+    /// consolidated into one large array copy.
+    pub fn transfer_time_us(&self, calls: u64, bytes: u64) -> f64 {
+        calls as f64 * self.copy_call_overhead_us
+            + bytes as f64 / (self.copy_bandwidth_gibps * 1024.0 * 1024.0 * 1024.0) * 1e6
+    }
+
+    /// Microseconds for `device_allocs` device-side and `host_allocs`
+    /// host-side allocation calls.
+    pub fn alloc_time_us(&self, device_allocs: u64, host_allocs: u64) -> f64 {
+        device_allocs as f64 * self.device_alloc_overhead_us
+            + host_allocs as f64 * self.host_alloc_overhead_us
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> GpuSpec {
+        GpuSpec::radeon_vii()
+    }
+}
+
+/// Time breakdown of one GPU-accelerated scheduling invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LaunchProfile {
+    /// Allocation time (host + device), microseconds.
+    pub alloc_us: f64,
+    /// Host↔device transfer time, microseconds.
+    pub copy_us: f64,
+    /// Kernel execution time (including launch overhead), microseconds.
+    pub kernel_us: f64,
+}
+
+impl LaunchProfile {
+    /// Total wall-clock microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.alloc_us + self.copy_us + self.kernel_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radeon_vii_has_240_wavefront_slots() {
+        let g = GpuSpec::radeon_vii();
+        assert_eq!(g.concurrent_wavefronts(), 240);
+    }
+
+    #[test]
+    fn kernel_cycles_empty_is_zero() {
+        assert_eq!(GpuSpec::radeon_vii().kernel_cycles(&[]), 0);
+    }
+
+    #[test]
+    fn kernel_cycles_parallel_up_to_slots() {
+        let g = GpuSpec::radeon_vii();
+        // 240 equal wavefronts fill all slots exactly once.
+        let wf = vec![100u64; 240];
+        assert_eq!(g.kernel_cycles(&wf), 100);
+        // 480 wavefronts: every SIMD runs two.
+        let wf = vec![100u64; 480];
+        assert_eq!(g.kernel_cycles(&wf), 200);
+    }
+
+    #[test]
+    fn kernel_cycles_bounded_by_max_wavefront() {
+        let g = GpuSpec::radeon_vii();
+        let wf = vec![10, 500, 20];
+        assert_eq!(g.kernel_cycles(&wf), 500);
+    }
+
+    #[test]
+    fn fewer_copy_calls_is_cheaper() {
+        let g = GpuSpec::radeon_vii();
+        let batched = g.transfer_time_us(1, 1 << 20);
+        let scattered = g.transfer_time_us(1000, 1 << 20);
+        assert!(batched < scattered / 10.0);
+    }
+
+    #[test]
+    fn device_allocation_dwarfs_host_allocation() {
+        let g = GpuSpec::radeon_vii();
+        assert!(g.alloc_time_us(10, 0) > 50.0 * g.alloc_time_us(0, 10));
+    }
+
+    #[test]
+    fn launch_profile_totals() {
+        let p = LaunchProfile {
+            alloc_us: 1.0,
+            copy_us: 2.0,
+            kernel_us: 3.0,
+        };
+        assert!((p.total_us() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_to_us_uses_clock() {
+        let g = GpuSpec::radeon_vii();
+        assert!((g.cycles_to_us(1800) - 1.0).abs() < 1e-9);
+    }
+}

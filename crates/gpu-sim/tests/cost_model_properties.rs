@@ -1,0 +1,72 @@
+//! Property tests of the SIMT cost model's structural laws.
+
+use gpu_sim::{CpuSpec, GpuSpec, MemLayout, WavefrontCost};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Kernel time is monotone: adding a wavefront never shortens a launch.
+    #[test]
+    fn kernel_cycles_monotone_in_wavefronts(mut loads in proptest::collection::vec(1u64..10_000, 1..64), extra in 1u64..10_000) {
+        let g = GpuSpec::radeon_vii();
+        let before = g.kernel_cycles(&loads);
+        loads.push(extra);
+        prop_assert!(g.kernel_cycles(&loads) >= before);
+    }
+
+    /// Kernel cycles are bounded below by the max wavefront and above by
+    /// the serial sum.
+    #[test]
+    fn kernel_cycles_bounds(loads in proptest::collection::vec(1u64..10_000, 1..300)) {
+        let g = GpuSpec::radeon_vii();
+        let cycles = g.kernel_cycles(&loads);
+        let max = *loads.iter().max().unwrap();
+        let sum: u64 = loads.iter().sum();
+        prop_assert!(cycles >= max);
+        prop_assert!(cycles <= sum);
+    }
+
+    /// Divergence never makes a wavefront cheaper than the uniform
+    /// execution of its longest path.
+    #[test]
+    fn diverge_at_least_longest_path(paths in proptest::collection::vec(0u64..500, 1..5)) {
+        let spec = GpuSpec::radeon_vii();
+        let mut diverged = WavefrontCost::new(&spec);
+        diverged.diverge(&paths);
+        let mut uniform = WavefrontCost::new(&spec);
+        uniform.uniform(*paths.iter().max().unwrap());
+        prop_assert!(diverged.cycles() >= uniform.cycles());
+    }
+
+    /// AoS traffic is never cheaper than SoA for the same access pattern.
+    #[test]
+    fn aos_never_cheaper_than_soa(count in 1u64..200, lanes in 1u32..64) {
+        let spec = GpuSpec::radeon_vii();
+        let mut soa = WavefrontCost::new(&spec);
+        soa.mem_accesses(count, lanes, MemLayout::Soa);
+        let mut aos = WavefrontCost::new(&spec);
+        aos.mem_accesses(count, lanes, MemLayout::Aos);
+        prop_assert!(aos.cycles() >= soa.cycles());
+        prop_assert!(aos.mem_transactions() >= soa.mem_transactions());
+    }
+
+    /// Transfer time is monotone in both calls and bytes.
+    #[test]
+    fn transfer_monotone(calls in 1u64..1000, bytes in 1u64..(1 << 30)) {
+        let g = GpuSpec::radeon_vii();
+        let t = g.transfer_time_us(calls, bytes);
+        prop_assert!(t > 0.0);
+        prop_assert!(g.transfer_time_us(calls + 1, bytes) > t);
+        prop_assert!(g.transfer_time_us(calls, bytes * 2) > t);
+    }
+
+    /// CPU op time is additive.
+    #[test]
+    fn cpu_time_additive(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let c = CpuSpec::threadripper();
+        let lhs = c.op_time_us(a) + c.op_time_us(b);
+        let rhs = c.op_time_us(a + b);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * rhs.max(1.0));
+    }
+}

@@ -1,0 +1,185 @@
+//! Candidate-scoring heuristics shared by the list schedulers and ACO.
+
+use machine_model::OccupancyModel;
+use reg_pressure::PressureTracker;
+use sched_ir::{Cycle, Ddg, InstrId};
+
+/// Precomputed per-region analyses consumed by every heuristic.
+///
+/// Build once per region; cheap to share across ants/schedulers.
+#[derive(Debug, Clone)]
+pub struct RegionAnalysis {
+    /// Latency-weighted distance to a leaf, per instruction
+    /// (the CP priority).
+    pub dist_to_leaf: Vec<Cycle>,
+    /// Earliest latency-feasible issue cycle, per instruction.
+    pub earliest_start: Vec<Cycle>,
+    /// Tight ready-list size upper bound (Section V-A).
+    pub ready_list_ub: usize,
+    /// Number of successors, per instruction.
+    pub succ_count: Vec<u32>,
+    /// Critical-path length of the region (max of `dist_to_leaf`).
+    pub critical_path: Cycle,
+}
+
+impl RegionAnalysis {
+    /// Runs all analyses on a region.
+    pub fn new(ddg: &Ddg) -> RegionAnalysis {
+        let dist_to_leaf = ddg.distance_to_leaf();
+        let critical_path = dist_to_leaf.iter().copied().max().unwrap_or(0);
+        RegionAnalysis {
+            dist_to_leaf,
+            earliest_start: ddg.earliest_starts(),
+            ready_list_ub: ddg.transitive_closure().ready_list_ub(),
+            succ_count: ddg.ids().map(|i| ddg.succs(i).len() as u32).collect(),
+            critical_path,
+        }
+    }
+}
+
+/// A guiding heuristic identity.
+///
+/// `Heuristic` is deliberately a plain enum (not a trait object): the GPU
+/// implementation assigns *different heuristics to different wavefront
+/// groups* (Section V-B) by storing one of these per wavefront, which must
+/// be a `Copy` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Heuristic {
+    /// Longest latency-weighted path to a leaf first.
+    CriticalPath,
+    /// Most live ranges closed first (register-pressure reduction).
+    LastUseCount,
+    /// AMD-production-like: protect occupancy, then critical path.
+    AmdMaxOccupancy,
+}
+
+impl Heuristic {
+    /// All heuristics, in the order used for wavefront-group assignment.
+    pub const ALL: [Heuristic; 3] = [
+        Heuristic::CriticalPath,
+        Heuristic::LastUseCount,
+        Heuristic::AmdMaxOccupancy,
+    ];
+}
+
+/// Evaluates candidates for one heuristic over one region.
+#[derive(Debug, Clone, Copy)]
+pub struct HeuristicEval<'a> {
+    heuristic: Heuristic,
+    analysis: &'a RegionAnalysis,
+    occupancy: &'a OccupancyModel,
+}
+
+impl<'a> HeuristicEval<'a> {
+    /// Creates an evaluator for `heuristic` over the analyzed region.
+    pub fn new(
+        heuristic: Heuristic,
+        analysis: &'a RegionAnalysis,
+        occupancy: &'a OccupancyModel,
+    ) -> HeuristicEval<'a> {
+        HeuristicEval {
+            heuristic,
+            analysis,
+            occupancy,
+        }
+    }
+
+    /// The heuristic identity being evaluated.
+    pub fn heuristic(&self) -> Heuristic {
+        self.heuristic
+    }
+
+    /// Desirability η of scheduling `id` next, given current pressure.
+    /// Strictly positive; larger is more desirable.
+    ///
+    /// η is consumed two ways: the greedy list scheduler picks the argmax;
+    /// ACO raises it to the power β and multiplies by pheromone.
+    pub fn eta(&self, id: InstrId, pressure: &PressureTracker<'_>) -> f64 {
+        let dist = self.analysis.dist_to_leaf[id.index()] as f64;
+        match self.heuristic {
+            Heuristic::CriticalPath => 1.0 + dist,
+            Heuristic::LastUseCount => {
+                // Kills dominate; CP distance breaks ties smoothly.
+                let kills = pressure.kills(id) as f64;
+                let n = self.analysis.dist_to_leaf.len() as f64;
+                1.0 + kills * (n + 1.0) + dist / (n + 1.0)
+            }
+            Heuristic::AmdMaxOccupancy => {
+                // Mirrors GCNMaxOccupancySchedStrategy's greedy priorities:
+                // protect occupancy above all, then reduce register
+                // pressure, and only then look at the critical path. The
+                // pressure-first myopia is what makes the production
+                // scheduler beatable on latency (the paper's Figure 4).
+                let occ_now = self.occupancy.occupancy(pressure.peak());
+                let occ_after = self.occupancy.occupancy(pressure.peak_after(id));
+                let tier = if occ_after >= occ_now { 1.0 } else { 0.0 };
+                let n = self.analysis.dist_to_leaf.len() as f64;
+                let span = (n + 1.0) * 40.0;
+                let net = pressure.opens(id) as f64 - pressure.kills(id) as f64;
+                let pressure_rank = (16.0 - net).clamp(0.0, 32.0);
+                let cp_tiebreak = dist / (self.analysis.critical_path as f64 + 1.0);
+                1.0 + tier * span + pressure_rank * (n + 1.0) + cp_tiebreak
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reg_pressure::RegUniverse;
+    use sched_ir::figure1;
+
+    #[test]
+    fn analysis_matches_ddg_queries() {
+        let ddg = figure1::ddg();
+        let a = RegionAnalysis::new(&ddg);
+        assert_eq!(a.ready_list_ub, 5);
+        assert_eq!(a.dist_to_leaf.len(), 7);
+        assert_eq!(a.succ_count.iter().sum::<u32>(), ddg.edge_count() as u32);
+    }
+
+    #[test]
+    fn critical_path_prefers_long_chains() {
+        let (ddg, ids) = figure1::ddg_with_ids();
+        let analysis = RegionAnalysis::new(&ddg);
+        let occ = OccupancyModel::vega_like();
+        let universe = RegUniverse::new(&ddg);
+        let t = PressureTracker::new(&universe);
+        let eval = HeuristicEval::new(Heuristic::CriticalPath, &analysis, &occ);
+        // A heads the longest chain (lat 4 to E), so beats B/C/D.
+        for other in [ids.b, ids.c, ids.d] {
+            assert!(eval.eta(ids.a, &t) > eval.eta(other, &t));
+        }
+    }
+
+    #[test]
+    fn last_use_count_prefers_killers() {
+        let (ddg, ids) = figure1::ddg_with_ids();
+        let analysis = RegionAnalysis::new(&ddg);
+        let occ = OccupancyModel::vega_like();
+        let universe = RegUniverse::new(&ddg);
+        let mut t = PressureTracker::new(&universe);
+        for id in [ids.c, ids.d] {
+            t.issue(id);
+        }
+        let eval = HeuristicEval::new(Heuristic::LastUseCount, &analysis, &occ);
+        // F kills r3 and r4; A kills nothing.
+        assert!(eval.eta(ids.f, &t) > eval.eta(ids.a, &t));
+    }
+
+    #[test]
+    fn eta_is_strictly_positive_for_all_heuristics() {
+        let ddg = figure1::ddg();
+        let analysis = RegionAnalysis::new(&ddg);
+        let occ = OccupancyModel::vega_like();
+        let universe = RegUniverse::new(&ddg);
+        let t = PressureTracker::new(&universe);
+        for h in Heuristic::ALL {
+            let eval = HeuristicEval::new(h, &analysis, &occ);
+            for id in ddg.ids() {
+                assert!(eval.eta(id, &t) > 0.0, "{h:?} eta({id}) must be positive");
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Occupancy tables and the APRP cost function.
+
+use sched_ir::{RegClass, REG_CLASS_COUNT};
+use serde::{Deserialize, Serialize};
+
+/// Number of wavefronts resident per SIMD unit (the paper's *occupancy*).
+pub type Waves = u32;
+
+/// Per-class register-file parameters determining occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct ClassFile {
+    /// Registers available per SIMD unit for this class.
+    budget: u32,
+    /// Allocation granularity: usage is rounded up to a multiple of this.
+    granule: u32,
+    /// Architectural maximum a single wavefront may address.
+    per_wave_max: u32,
+}
+
+impl ClassFile {
+    fn occupancy(&self, prp: u32, cap: Waves) -> Waves {
+        if prp == 0 {
+            return cap;
+        }
+        if prp > self.per_wave_max {
+            // Pressure beyond the addressable file would spill; model as the
+            // worst (single wavefront) occupancy.
+            return 1;
+        }
+        let alloc = prp.div_ceil(self.granule) * self.granule;
+        (self.budget / alloc).clamp(1, cap)
+    }
+}
+
+/// Occupancy model: maps per-class peak register pressure (PRP) to
+/// wavefront occupancy, and PRP to **adjusted PRP** (APRP).
+///
+/// The APRP of a PRP value `x` is the maximum PRP that yields the same
+/// occupancy as `x` (Section II-A). Using APRP rather than raw PRP as the
+/// pass-1 cost stops the scheduler from chasing register savings that cannot
+/// change occupancy.
+///
+/// # Example
+///
+/// The paper's Radeon VII example: "a PRP of 24 VGPRs or less gives the
+/// maximum occupancy of 10, while PRP values in the range \[25–28\] give an
+/// occupancy of 9".
+///
+/// ```
+/// use machine_model::OccupancyModel;
+/// use sched_ir::RegClass;
+///
+/// let m = OccupancyModel::vega_like();
+/// assert_eq!(m.class_occupancy(RegClass::Vgpr, 24), 10);
+/// assert_eq!(m.class_occupancy(RegClass::Vgpr, 25), 9);
+/// assert_eq!(m.class_occupancy(RegClass::Vgpr, 28), 9);
+/// assert_eq!(m.aprp(RegClass::Vgpr, 1), 24);
+/// assert_eq!(m.aprp(RegClass::Vgpr, 25), 28);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancyModel {
+    files: [ClassFile; REG_CLASS_COUNT],
+    max_waves: Waves,
+}
+
+impl OccupancyModel {
+    /// The Vega-20-like model used throughout the paper's evaluation:
+    /// 256 VGPRs per SIMD lane (granule 4, per-wave max 256), 800 SGPRs
+    /// (granule 16, per-wave max 102), at most 10 waves per SIMD.
+    pub fn vega_like() -> OccupancyModel {
+        OccupancyModel {
+            files: [
+                ClassFile {
+                    budget: 256,
+                    granule: 4,
+                    per_wave_max: 256,
+                },
+                ClassFile {
+                    budget: 800,
+                    granule: 16,
+                    per_wave_max: 102,
+                },
+            ],
+            max_waves: 10,
+        }
+    }
+
+    /// An identity-APRP model for fine-grained pressure studies and the
+    /// paper's worked example: for PRP values up to 8, every PRP value is
+    /// its own occupancy band, so `aprp(x) == x` and reducing PRP by one
+    /// register always pays. The Figure-1 walkthrough (Section IV-C)
+    /// treats PRP this way.
+    ///
+    /// ```
+    /// use machine_model::OccupancyModel;
+    /// use sched_ir::RegClass;
+    /// let m = OccupancyModel::unit();
+    /// for x in 1..=8 {
+    ///     assert_eq!(m.aprp(RegClass::Vgpr, x), x);
+    /// }
+    /// ```
+    pub fn unit() -> OccupancyModel {
+        OccupancyModel::custom([64, 64], [1, 1], [64, 64], 64)
+    }
+
+    /// A custom model (same structure, different parameters). `budgets`,
+    /// `granules` and `per_wave_max` are indexed by [`RegClass::index`].
+    pub fn custom(
+        budgets: [u32; REG_CLASS_COUNT],
+        granules: [u32; REG_CLASS_COUNT],
+        per_wave_max: [u32; REG_CLASS_COUNT],
+        max_waves: Waves,
+    ) -> OccupancyModel {
+        let mk = |i: usize| ClassFile {
+            budget: budgets[i],
+            granule: granules[i].max(1),
+            per_wave_max: per_wave_max[i],
+        };
+        OccupancyModel {
+            files: [mk(0), mk(1)],
+            max_waves,
+        }
+    }
+
+    /// Maximum occupancy achievable on this machine.
+    pub fn max_waves(&self) -> Waves {
+        self.max_waves
+    }
+
+    /// Occupancy permitted by a single class at the given PRP.
+    pub fn class_occupancy(&self, class: RegClass, prp: u32) -> Waves {
+        self.files[class.index()].occupancy(prp, self.max_waves)
+    }
+
+    /// Combined occupancy for per-class PRPs: the minimum over classes.
+    pub fn occupancy(&self, prp: [u32; REG_CLASS_COUNT]) -> Waves {
+        RegClass::ALL
+            .iter()
+            .map(|&c| self.class_occupancy(c, prp[c.index()]))
+            .min()
+            .unwrap_or(self.max_waves)
+    }
+
+    /// The adjusted PRP: the maximum PRP with the same occupancy as `prp`.
+    pub fn aprp(&self, class: RegClass, prp: u32) -> u32 {
+        let occ = self.class_occupancy(class, prp);
+        self.max_prp_for_occupancy(class, occ).unwrap_or(prp)
+    }
+
+    /// The largest PRP of `class` that still yields occupancy `occ`, or
+    /// `None` if no PRP yields exactly that occupancy.
+    pub fn max_prp_for_occupancy(&self, class: RegClass, occ: Waves) -> Option<u32> {
+        let file = &self.files[class.index()];
+        if occ == 0 || occ > self.max_waves {
+            return None;
+        }
+        // Largest allocation a with budget/a >= occ, rounded to granule,
+        // clamped to the addressable file.
+        let alloc = (file.budget / occ) / file.granule * file.granule;
+        if alloc == 0 {
+            return None;
+        }
+        let prp = alloc.min(file.per_wave_max);
+        (self.class_occupancy(class, prp) == occ).then_some(prp)
+    }
+
+    /// Per-class APRPs for a PRP vector.
+    pub fn aprp_vec(&self, prp: [u32; REG_CLASS_COUNT]) -> [u32; REG_CLASS_COUNT] {
+        let mut out = [0u32; REG_CLASS_COUNT];
+        for c in RegClass::ALL {
+            out[c.index()] = self.aprp(c, prp[c.index()]);
+        }
+        out
+    }
+
+    /// Scalar pass-1 cost of a PRP vector: lost occupancy dominates, APRP
+    /// breaks ties within an occupancy band.
+    ///
+    /// Lower is better. The occupancy term is scaled so that any occupancy
+    /// improvement outweighs any APRP difference, matching the paper's
+    /// objective ordering (occupancy is what the RP pass is really buying).
+    pub fn rp_cost(&self, prp: [u32; REG_CLASS_COUNT]) -> u64 {
+        let occ = self.occupancy(prp);
+        let lost = (self.max_waves - occ) as u64;
+        // Classes with zero pressure contribute nothing (their APRP band
+        // max is a constant that would only obscure comparisons).
+        let aprp_sum: u64 = RegClass::ALL
+            .iter()
+            .filter(|c| prp[c.index()] > 0)
+            .map(|&c| self.aprp(c, prp[c.index()]) as u64)
+            .sum();
+        lost * 100_000 + aprp_sum
+    }
+
+    /// The best (lowest) possible [`Self::rp_cost`] given per-class PRP
+    /// lower bounds — the pass-1 lower bound used to gate ACO.
+    pub fn rp_cost_lb(&self, prp_lb: [usize; REG_CLASS_COUNT]) -> u64 {
+        let prp = [prp_lb[0] as u32, prp_lb[1] as u32];
+        self.rp_cost(prp)
+    }
+}
+
+impl Default for OccupancyModel {
+    fn default() -> OccupancyModel {
+        OccupancyModel::vega_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_vgpr_bands() {
+        let m = OccupancyModel::vega_like();
+        for prp in 1..=24 {
+            assert_eq!(m.class_occupancy(RegClass::Vgpr, prp), 10, "prp={prp}");
+            assert_eq!(m.aprp(RegClass::Vgpr, prp), 24, "prp={prp}");
+        }
+        for prp in 25..=28 {
+            assert_eq!(m.class_occupancy(RegClass::Vgpr, prp), 9, "prp={prp}");
+            assert_eq!(m.aprp(RegClass::Vgpr, prp), 28, "prp={prp}");
+        }
+        assert_eq!(m.class_occupancy(RegClass::Vgpr, 32), 8);
+        assert_eq!(m.class_occupancy(RegClass::Vgpr, 256), 1);
+    }
+
+    #[test]
+    fn zero_pressure_gives_max_occupancy() {
+        let m = OccupancyModel::vega_like();
+        assert_eq!(m.class_occupancy(RegClass::Vgpr, 0), 10);
+        assert_eq!(m.occupancy([0, 0]), 10);
+    }
+
+    #[test]
+    fn combined_occupancy_is_min_of_classes() {
+        let m = OccupancyModel::vega_like();
+        // 40 VGPRs -> 256/40 -> 6; 16 SGPRs -> 800/16 -> 10 (capped)
+        assert_eq!(m.occupancy([40, 16]), 6);
+        // SGPR-limited case: 400 SGPRs is over the per-wave max -> occupancy 1
+        assert_eq!(m.occupancy([1, 400]), 1);
+    }
+
+    #[test]
+    fn aprp_is_idempotent_and_monotone_band_max() {
+        let m = OccupancyModel::vega_like();
+        for prp in 1..=256u32 {
+            let a = m.aprp(RegClass::Vgpr, prp);
+            assert!(a >= prp, "APRP must not be below PRP (prp={prp}, aprp={a})");
+            assert_eq!(
+                m.class_occupancy(RegClass::Vgpr, a),
+                m.class_occupancy(RegClass::Vgpr, prp),
+                "APRP must preserve occupancy (prp={prp})"
+            );
+            assert_eq!(m.aprp(RegClass::Vgpr, a), a, "APRP idempotent (prp={prp})");
+        }
+    }
+
+    #[test]
+    fn max_prp_for_occupancy_inverts_occupancy() {
+        let m = OccupancyModel::vega_like();
+        assert_eq!(m.max_prp_for_occupancy(RegClass::Vgpr, 10), Some(24));
+        assert_eq!(m.max_prp_for_occupancy(RegClass::Vgpr, 9), Some(28));
+        assert_eq!(m.max_prp_for_occupancy(RegClass::Vgpr, 0), None);
+        assert_eq!(m.max_prp_for_occupancy(RegClass::Vgpr, 11), None);
+    }
+
+    #[test]
+    fn rp_cost_prefers_occupancy_over_aprp() {
+        let m = OccupancyModel::vega_like();
+        // occupancy 10 with big SGPR use beats occupancy 9 with tiny use.
+        let high_occ = m.rp_cost([24, 80]);
+        let low_occ = m.rp_cost([25, 1]);
+        assert!(high_occ < low_occ);
+    }
+
+    #[test]
+    fn rp_cost_breaks_ties_by_aprp() {
+        let m = OccupancyModel::vega_like();
+        assert!(m.rp_cost([32, 0]) < m.rp_cost([36, 0])); // both occupancy 8
+        assert_eq!(m.rp_cost([30, 0]), m.rp_cost([32, 0])); // same band
+    }
+
+    #[test]
+    fn custom_model_respects_parameters() {
+        let m = OccupancyModel::custom([64, 64], [1, 1], [64, 64], 4);
+        assert_eq!(m.max_waves(), 4);
+        assert_eq!(m.class_occupancy(RegClass::Vgpr, 16), 4);
+        assert_eq!(m.class_occupancy(RegClass::Vgpr, 17), 3);
+        assert_eq!(m.aprp(RegClass::Vgpr, 17), 21); // 64/3 = 21
+    }
+
+    #[test]
+    fn sgpr_band_example() {
+        let m = OccupancyModel::vega_like();
+        // 80 SGPRs -> 800/80 = 10 waves
+        assert_eq!(m.class_occupancy(RegClass::Sgpr, 80), 10);
+        // 96 SGPRs -> 800/96 = 8 waves
+        assert_eq!(m.class_occupancy(RegClass::Sgpr, 96), 8);
+    }
+}

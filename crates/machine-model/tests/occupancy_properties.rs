@@ -1,0 +1,72 @@
+//! Property tests of the occupancy/APRP model's defining laws.
+
+use machine_model::OccupancyModel;
+use proptest::prelude::*;
+use sched_ir::RegClass;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Occupancy is non-increasing in pressure.
+    #[test]
+    fn occupancy_monotone(prp in 0u32..300) {
+        let m = OccupancyModel::vega_like();
+        for c in RegClass::ALL {
+            prop_assert!(m.class_occupancy(c, prp) >= m.class_occupancy(c, prp + 1));
+        }
+    }
+
+    /// APRP is the band maximum: same occupancy, idempotent, >= PRP —
+    /// within the addressable register file (beyond it the model saturates
+    /// at occupancy 1, modeling spills).
+    #[test]
+    fn aprp_band_laws(prp in 1u32..100) {
+        let m = OccupancyModel::vega_like();
+        for c in RegClass::ALL {
+            let a = m.aprp(c, prp);
+            prop_assert!(a >= prp);
+            prop_assert_eq!(m.class_occupancy(c, a), m.class_occupancy(c, prp));
+            prop_assert_eq!(m.aprp(c, a), a);
+        }
+    }
+
+    /// Pressure beyond the addressable file saturates at occupancy 1.
+    #[test]
+    fn beyond_file_saturates(extra in 1u32..1000) {
+        let m = OccupancyModel::vega_like();
+        prop_assert_eq!(m.class_occupancy(RegClass::Vgpr, 256 + extra), 1);
+        prop_assert_eq!(m.class_occupancy(RegClass::Sgpr, 102 + extra), 1);
+    }
+
+    /// The scalar RP cost is monotone in each class's pressure.
+    #[test]
+    fn rp_cost_monotone(v in 1u32..256, s in 1u32..100) {
+        let m = OccupancyModel::vega_like();
+        let base = m.rp_cost([v, s]);
+        prop_assert!(m.rp_cost([v + 1, s]) >= base);
+        prop_assert!(m.rp_cost([v, s + 1]) >= base);
+    }
+
+    /// max_prp_for_occupancy inverts class_occupancy wherever it is defined.
+    #[test]
+    fn max_prp_inverts_occupancy(occ in 1u32..11) {
+        let m = OccupancyModel::vega_like();
+        for c in RegClass::ALL {
+            if let Some(prp) = m.max_prp_for_occupancy(c, occ) {
+                prop_assert_eq!(m.class_occupancy(c, prp), occ);
+                // One more register must drop the occupancy (band max) —
+                // except at occupancy 1, where the model saturates.
+                if occ > 1 {
+                    prop_assert!(m.class_occupancy(c, prp + 1) < occ);
+                }
+            }
+        }
+    }
+
+    /// The unit model is identity-APRP in its calibrated range.
+    #[test]
+    fn unit_model_identity(prp in 1u32..9) {
+        let m = OccupancyModel::unit();
+        prop_assert_eq!(m.aprp(RegClass::Vgpr, prp), prp);
+    }
+}

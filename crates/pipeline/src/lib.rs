@@ -1,0 +1,27 @@
+//! The compilation pipeline around the ACO scheduler.
+//!
+//! Reproduces the flow of Section VI: every scheduling region is first
+//! scheduled by the production heuristic; ACO is invoked only when the
+//! heuristic result is above a lower bound and the expected benefit passes
+//! the compile-time filters; a post-scheduling filter reverts to the
+//! heuristic schedule when ACO traded too much schedule length for too
+//! little occupancy. On top of the per-region flow, the crate models:
+//!
+//! * **compile time** (Table 5) — a fixed per-region base compilation cost
+//!   plus the modeled scheduling time of whichever scheduler is active,
+//! * **execution time** (Figure 4) — an analytic kernel-throughput model
+//!   driven by the two quantities a scheduler controls: occupancy and
+//!   schedule length,
+//! * **suite runs** — compiling a whole [`workloads::Suite`] under any
+//!   [`SchedulerKind`] and aggregating the statistics the paper's tables
+//!   report.
+
+pub mod config;
+pub mod exec_model;
+pub mod region;
+pub mod suite_run;
+
+pub use config::{PipelineConfig, SchedulerKind};
+pub use exec_model::{benchmark_throughput, kernel_time_us, ExecModel};
+pub use region::{compile_region, FinalChoice, RegionCompilation};
+pub use suite_run::{compile_suite, RegionRecord, SuiteRun};

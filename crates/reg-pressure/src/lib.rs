@@ -1,0 +1,469 @@
+//! Register-pressure tracking during schedule construction.
+//!
+//! Every scheduler in the workspace — the greedy list schedulers and both
+//! ACO schedulers — constructs schedules one instruction at a time and needs
+//! to know, incrementally, how many registers of each class are live. This
+//! crate provides:
+//!
+//! * [`RegUniverse`]: a per-region interning of virtual registers with their
+//!   defining instruction and use counts,
+//! * [`PressureTracker`]: O(operands) incremental live-count updates with
+//!   peak tracking, plus *what-if* queries ([`PressureTracker::net_change`],
+//!   [`PressureTracker::kills`]) used by the Last-Use-Count heuristic and by
+//!   the ACO optional-stall heuristic,
+//! * [`prp_of_order`]: one-shot peak-pressure evaluation of a complete
+//!   instruction order.
+//!
+//! Register semantics follow the paper's region model: registers used but
+//! never defined in the region are live-in (live from cycle 0 until their
+//! last use); registers defined but never used are live-out (live from their
+//! definition to the end of the region).
+
+use machine_model::OccupancyModel;
+use sched_ir::{Ddg, InstrId, Reg, RegClass, REG_CLASS_COUNT};
+use std::collections::HashMap;
+
+/// Dense index of a register within a [`RegUniverse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegIdx(u32);
+
+impl RegIdx {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RegInfo {
+    class: RegClass,
+    /// Instruction defining the register, if defined in the region.
+    def: Option<InstrId>,
+    /// Total number of use occurrences in the region.
+    uses: u32,
+}
+
+/// Interned register metadata for one scheduling region.
+///
+/// Build once per region, then drive any number of [`PressureTracker`]s
+/// (e.g. one per ant) from it.
+#[derive(Debug, Clone)]
+pub struct RegUniverse {
+    regs: Vec<RegInfo>,
+    instr_defs: Vec<Vec<RegIdx>>,
+    instr_uses: Vec<Vec<RegIdx>>,
+    live_in: [u32; REG_CLASS_COUNT],
+}
+
+impl RegUniverse {
+    /// Interns all registers of a region.
+    ///
+    /// Assumes SSA-like virtual registers: at most one def per register.
+    /// A second def of the same register is ignored with a debug assertion.
+    pub fn new(ddg: &Ddg) -> RegUniverse {
+        let mut index: HashMap<Reg, RegIdx> = HashMap::new();
+        let mut regs: Vec<RegInfo> = Vec::new();
+        let mut intern = |r: Reg, regs: &mut Vec<RegInfo>| -> RegIdx {
+            *index.entry(r).or_insert_with(|| {
+                regs.push(RegInfo {
+                    class: r.class,
+                    def: None,
+                    uses: 0,
+                });
+                RegIdx(regs.len() as u32 - 1)
+            })
+        };
+        let n = ddg.len();
+        let mut instr_defs = vec![Vec::new(); n];
+        let mut instr_uses = vec![Vec::new(); n];
+        for id in ddg.ids() {
+            let instr = ddg.instr(id);
+            for &r in instr.uses() {
+                let ri = intern(r, &mut regs);
+                regs[ri.index()].uses += 1;
+                instr_uses[id.index()].push(ri);
+            }
+            for &r in instr.defs() {
+                let ri = intern(r, &mut regs);
+                debug_assert!(
+                    regs[ri.index()].def.is_none(),
+                    "register {r} defined more than once (non-SSA region)"
+                );
+                if regs[ri.index()].def.is_none() {
+                    regs[ri.index()].def = Some(id);
+                }
+                instr_defs[id.index()].push(ri);
+            }
+        }
+        let mut live_in = [0u32; REG_CLASS_COUNT];
+        for info in &regs {
+            if info.def.is_none() {
+                live_in[info.class.index()] += 1;
+            }
+        }
+        RegUniverse {
+            regs,
+            instr_defs,
+            instr_uses,
+            live_in,
+        }
+    }
+
+    /// Number of distinct registers in the region.
+    pub fn reg_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Per-class count of live-in registers.
+    pub fn live_in(&self) -> [u32; REG_CLASS_COUNT] {
+        self.live_in
+    }
+
+    /// Registers defined by an instruction (dense indices).
+    pub fn defs(&self, id: InstrId) -> &[RegIdx] {
+        &self.instr_defs[id.index()]
+    }
+
+    /// Register use occurrences of an instruction (dense indices; a register
+    /// used twice appears twice).
+    pub fn uses(&self, id: InstrId) -> &[RegIdx] {
+        &self.instr_uses[id.index()]
+    }
+}
+
+/// Incremental per-class live-register counting with peak tracking.
+///
+/// # Example
+///
+/// ```
+/// use reg_pressure::{PressureTracker, RegUniverse, prp_of_order};
+/// use sched_ir::figure1;
+///
+/// let (ddg, ids) = figure1::ddg_with_ids();
+/// let universe = RegUniverse::new(&ddg);
+/// let mut t = PressureTracker::new(&universe);
+/// for id in [ids.a, ids.b, ids.c, ids.d] {
+///     t.issue(id);
+/// }
+/// // "each of Instructions A, B, C, and D opens a new live range"
+/// assert_eq!(t.peak()[0], 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PressureTracker<'u> {
+    universe: &'u RegUniverse,
+    remaining: Vec<u32>,
+    live: Vec<bool>,
+    current: [u32; REG_CLASS_COUNT],
+    peak: [u32; REG_CLASS_COUNT],
+}
+
+impl<'u> PressureTracker<'u> {
+    /// Creates a tracker at region entry: live-ins live, nothing issued.
+    pub fn new(universe: &'u RegUniverse) -> PressureTracker<'u> {
+        let remaining: Vec<u32> = universe.regs.iter().map(|r| r.uses).collect();
+        let live: Vec<bool> = universe.regs.iter().map(|r| r.def.is_none()).collect();
+        let current = universe.live_in;
+        PressureTracker {
+            universe,
+            remaining,
+            live,
+            current,
+            peak: current,
+        }
+    }
+
+    /// Resets to region entry without reallocating (ants reuse trackers
+    /// across iterations — the GPU implementation avoids dynamic allocation
+    /// the same way).
+    pub fn reset(&mut self) {
+        for (i, r) in self.universe.regs.iter().enumerate() {
+            self.remaining[i] = r.uses;
+            self.live[i] = r.def.is_none();
+        }
+        self.current = self.universe.live_in;
+        self.peak = self.current;
+    }
+
+    /// Issues an instruction: closes the live ranges of registers whose last
+    /// use this is, then opens its defs' live ranges.
+    ///
+    /// Kills are processed before opens — an instruction's result may reuse
+    /// the physical register of an operand it kills, so the two ranges do
+    /// not overlap. This matches the paper's Figure-1 counting, where the
+    /// `A,B,C,D,E,F,G` order has PRP 4 (not 5) even though `E` opens `r5`
+    /// in the same cycle it kills `r1` and `r2`.
+    pub fn issue(&mut self, id: InstrId) {
+        for &ri in self.universe.uses(id) {
+            let i = ri.index();
+            debug_assert!(
+                self.live[i] || self.remaining[i] == 0,
+                "use of a dead register: order violates def-use dependence"
+            );
+            if self.remaining[i] > 0 {
+                self.remaining[i] -= 1;
+                if self.remaining[i] == 0 && self.live[i] {
+                    self.live[i] = false;
+                    self.current[self.universe.regs[i].class.index()] -= 1;
+                }
+            }
+        }
+        for &ri in self.universe.defs(id) {
+            let i = ri.index();
+            if !self.live[i] {
+                self.live[i] = true;
+                let c = self.universe.regs[i].class.index();
+                self.current[c] += 1;
+                self.peak[c] = self.peak[c].max(self.current[c]);
+            }
+        }
+    }
+
+    /// Current live-register counts per class.
+    pub fn current(&self) -> [u32; REG_CLASS_COUNT] {
+        self.current
+    }
+
+    /// Peak live-register counts per class since construction/reset (PRP).
+    pub fn peak(&self) -> [u32; REG_CLASS_COUNT] {
+        self.peak
+    }
+
+    /// Net per-class pressure change if `id` were issued now: defs that
+    /// would open a range minus uses that would close one.
+    pub fn net_change(&self, id: InstrId) -> [i32; REG_CLASS_COUNT] {
+        let mut delta = [0i32; REG_CLASS_COUNT];
+        for &ri in self.universe.defs(id) {
+            if !self.live[ri.index()] {
+                delta[self.universe.regs[ri.index()].class.index()] += 1;
+            }
+        }
+        for (ri, occurrences) in dedup_occurrences(self.universe.uses(id)) {
+            let i = ri.index();
+            if self.live[i] && self.remaining[i] <= occurrences {
+                delta[self.universe.regs[i].class.index()] -= 1;
+            }
+        }
+        delta
+    }
+
+    /// Number of live ranges issuing `id` would close (the Last-Use-Count
+    /// priority of Shobaki et al. 2015).
+    pub fn kills(&self, id: InstrId) -> u32 {
+        let mut k = 0;
+        for (ri, occurrences) in dedup_occurrences(self.universe.uses(id)) {
+            let i = ri.index();
+            if self.live[i] && self.remaining[i] <= occurrences {
+                k += 1;
+            }
+        }
+        k
+    }
+
+    /// Number of live ranges issuing `id` would open.
+    pub fn opens(&self, id: InstrId) -> u32 {
+        self.universe
+            .defs(id)
+            .iter()
+            .filter(|ri| !self.live[ri.index()])
+            .count() as u32
+    }
+
+    /// Peak pressure if `id` were issued now, per class — without mutating
+    /// the tracker. Used by the pass-2 RP-constraint check.
+    pub fn peak_after(&self, id: InstrId) -> [u32; REG_CLASS_COUNT] {
+        let delta = self.net_change(id);
+        let mut peak = self.peak;
+        for c in 0..REG_CLASS_COUNT {
+            let after = (self.current[c] as i32 + delta[c]).max(0) as u32;
+            peak[c] = peak[c].max(after);
+        }
+        peak
+    }
+
+    /// Scalar APRP cost of the peak so far (see
+    /// [`OccupancyModel::rp_cost`]).
+    pub fn rp_cost(&self, model: &OccupancyModel) -> u64 {
+        model.rp_cost(self.peak)
+    }
+}
+
+/// Collapses a use-occurrence list into `(reg, occurrence_count)` pairs.
+fn dedup_occurrences(uses: &[RegIdx]) -> impl Iterator<Item = (RegIdx, u32)> + '_ {
+    // Operand lists are tiny (< 8); quadratic dedup beats hashing.
+    uses.iter().enumerate().filter_map(move |(i, &ri)| {
+        if uses[..i].contains(&ri) {
+            None
+        } else {
+            Some((ri, uses.iter().filter(|&&x| x == ri).count() as u32))
+        }
+    })
+}
+
+/// Peak register pressure of issuing a region in the given order.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `order` uses a register before its def.
+pub fn prp_of_order(ddg: &Ddg, order: &[InstrId]) -> [u32; REG_CLASS_COUNT] {
+    let universe = RegUniverse::new(ddg);
+    let mut t = PressureTracker::new(&universe);
+    for &id in order {
+        t.issue(id);
+    }
+    t.peak()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_ir::{figure1, DdgBuilder};
+
+    const V: usize = 0; // RegClass::Vgpr.index()
+
+    #[test]
+    fn figure1_ant1_order_has_prp_4() {
+        let (ddg, ids) = figure1::ddg_with_ids();
+        let order = [ids.a, ids.b, ids.c, ids.d, ids.e, ids.f, ids.g];
+        assert_eq!(prp_of_order(&ddg, &order)[V], 4);
+    }
+
+    #[test]
+    fn figure1_ant2_order_has_prp_3() {
+        let (ddg, ids) = figure1::ddg_with_ids();
+        // C, D, F closes r3/r4 at the third step (paper's Ant-2 order).
+        let order = [ids.c, ids.d, ids.f, ids.a, ids.b, ids.e, ids.g];
+        assert_eq!(prp_of_order(&ddg, &order)[V], 3);
+    }
+
+    #[test]
+    fn live_in_registers_start_live() {
+        let mut b = DdgBuilder::new();
+        let u = b.instr("use", [], [Reg::vgpr(0), Reg::sgpr(0)]);
+        let g = b.build().unwrap();
+        let universe = RegUniverse::new(&g);
+        assert_eq!(universe.live_in(), [1, 1]);
+        let mut t = PressureTracker::new(&universe);
+        assert_eq!(t.current(), [1, 1]);
+        t.issue(u);
+        assert_eq!(t.current(), [0, 0]);
+        assert_eq!(t.peak(), [1, 1]);
+    }
+
+    #[test]
+    fn live_out_registers_never_die() {
+        let mut b = DdgBuilder::new();
+        let d = b.instr("def", [Reg::vgpr(0)], []);
+        let g = b.build().unwrap();
+        let universe = RegUniverse::new(&g);
+        let mut t = PressureTracker::new(&universe);
+        t.issue(d);
+        assert_eq!(t.current()[V], 1);
+        assert_eq!(t.peak()[V], 1);
+    }
+
+    #[test]
+    fn kills_processed_before_opens_within_one_instruction() {
+        // x = f(v0) where this is v0's last use: the result may reuse v0's
+        // register, so the peak stays 1.
+        let mut b = DdgBuilder::new();
+        let d = b.instr("def", [Reg::vgpr(0)], []);
+        let x = b.instr("f", [Reg::vgpr(1)], [Reg::vgpr(0)]);
+        b.edge(d, x, 1).unwrap();
+        let g = b.build().unwrap();
+        let universe = RegUniverse::new(&g);
+        let mut t = PressureTracker::new(&universe);
+        t.issue(d);
+        t.issue(x);
+        assert_eq!(t.current()[V], 1, "v0 dead, v1 live");
+        assert_eq!(t.peak()[V], 1, "v1 reuses v0's slot");
+    }
+
+    #[test]
+    fn multi_use_register_dies_at_last_use() {
+        let mut b = DdgBuilder::new();
+        let d = b.instr("def", [Reg::vgpr(0)], []);
+        let u1 = b.instr("u1", [], [Reg::vgpr(0)]);
+        let u2 = b.instr("u2", [], [Reg::vgpr(0)]);
+        b.edge(d, u1, 1).unwrap();
+        b.edge(d, u2, 1).unwrap();
+        let g = b.build().unwrap();
+        let universe = RegUniverse::new(&g);
+        let mut t = PressureTracker::new(&universe);
+        t.issue(d);
+        t.issue(u1);
+        assert_eq!(t.current()[V], 1, "still one use left");
+        t.issue(u2);
+        assert_eq!(t.current()[V], 0);
+    }
+
+    #[test]
+    fn duplicate_use_in_one_instruction_counts_once_for_kill() {
+        let mut b = DdgBuilder::new();
+        let d = b.instr("def", [Reg::vgpr(0)], []);
+        let sq = b.instr("square", [Reg::vgpr(1)], [Reg::vgpr(0), Reg::vgpr(0)]);
+        b.edge(d, sq, 1).unwrap();
+        let g = b.build().unwrap();
+        let universe = RegUniverse::new(&g);
+        let mut t = PressureTracker::new(&universe);
+        t.issue(d);
+        assert_eq!(t.kills(sq), 1);
+        assert_eq!(t.net_change(sq), [0, 0]); // +v1, -v0
+        t.issue(sq);
+        assert_eq!(t.current()[V], 1); // only v1 live
+    }
+
+    #[test]
+    fn net_change_and_peak_after_are_consistent_with_issue() {
+        let (ddg, ids) = figure1::ddg_with_ids();
+        let universe = RegUniverse::new(&ddg);
+        let mut t = PressureTracker::new(&universe);
+        for id in [ids.c, ids.d] {
+            let predicted = t.net_change(id);
+            let predicted_peak = t.peak_after(id);
+            let before = t.current();
+            t.issue(id);
+            let after = t.current();
+            for c in 0..REG_CLASS_COUNT {
+                assert_eq!(after[c] as i32 - before[c] as i32, predicted[c]);
+            }
+            assert_eq!(t.peak(), predicted_peak);
+        }
+        // F kills r3 and r4 and opens r6 -> net -1.
+        assert_eq!(t.net_change(ids.f)[V], -1);
+        assert_eq!(t.kills(ids.f), 2);
+        assert_eq!(t.opens(ids.f), 1);
+    }
+
+    #[test]
+    fn reset_restores_entry_state() {
+        let (ddg, ids) = figure1::ddg_with_ids();
+        let universe = RegUniverse::new(&ddg);
+        let mut t = PressureTracker::new(&universe);
+        let order = [ids.a, ids.b, ids.c, ids.d, ids.e, ids.f, ids.g];
+        for id in order {
+            t.issue(id);
+        }
+        assert_eq!(t.peak()[V], 4);
+        t.reset();
+        assert_eq!(t.peak(), [0, 0]);
+        assert_eq!(t.current(), [0, 0]);
+        for id in [ids.c, ids.d, ids.f, ids.a, ids.b, ids.e, ids.g] {
+            t.issue(id);
+        }
+        assert_eq!(t.peak()[V], 3);
+    }
+
+    #[test]
+    fn rp_cost_uses_occupancy_model() {
+        let (ddg, ids) = figure1::ddg_with_ids();
+        let universe = RegUniverse::new(&ddg);
+        let mut t = PressureTracker::new(&universe);
+        for id in [ids.a, ids.b, ids.c, ids.d, ids.e, ids.f, ids.g] {
+            t.issue(id);
+        }
+        let model = OccupancyModel::vega_like();
+        // PRP 4 -> APRP 24 band -> occupancy 10 -> cost = APRP sum only.
+        assert_eq!(t.rp_cost(&model), 24);
+    }
+
+    use sched_ir::Reg;
+}

@@ -1,0 +1,233 @@
+//! Critical-path analyses and lower bounds.
+//!
+//! The ACO pipeline gates its invocation on lower bounds (Section VI-A): a
+//! heuristic schedule that already matches the lower bound is provably
+//! optimal and ACO is skipped. This module provides
+//!
+//! * latency-weighted critical-path distances (forward and backward), which
+//!   also drive the Critical-Path guiding heuristic, and
+//! * schedule-length and register-pressure lower bounds.
+
+use crate::ddg::Ddg;
+use crate::instr::{InstrId, RegClass, REG_CLASS_COUNT};
+use crate::schedule::Cycle;
+use std::collections::HashMap;
+
+impl Ddg {
+    /// Earliest possible issue cycle of each instruction, considering
+    /// latencies only (infinite issue width). This is the longest
+    /// latency-weighted path from any root.
+    pub fn earliest_starts(&self) -> Vec<Cycle> {
+        let mut est = vec![0 as Cycle; self.len()];
+        for &id in self.topo_order() {
+            for &(succ, lat) in self.succs(id) {
+                let cand = est[id.index()] + lat as Cycle;
+                if cand > est[succ.index()] {
+                    est[succ.index()] = cand;
+                }
+            }
+        }
+        est
+    }
+
+    /// Latency-weighted distance from each instruction to the end of the
+    /// region: the longest path to any leaf, counting the instruction's own
+    /// issue cycle. A leaf has distance 1 (its own cycle).
+    ///
+    /// This is the classic Critical-Path priority: scheduling the
+    /// largest-distance instruction first tends to minimize the overall
+    /// schedule length.
+    pub fn distance_to_leaf(&self) -> Vec<Cycle> {
+        let mut dist = vec![1 as Cycle; self.len()];
+        for &id in self.topo_order().iter().rev() {
+            for &(succ, lat) in self.succs(id) {
+                let cand = dist[succ.index()] + (lat as Cycle).max(1);
+                if cand > dist[id.index()] {
+                    dist[id.index()] = cand;
+                }
+            }
+        }
+        dist
+    }
+
+    /// Length in cycles of the critical (longest latency) path.
+    pub fn critical_path_length(&self) -> Cycle {
+        self.distance_to_leaf().into_iter().max().unwrap_or(0)
+    }
+
+    /// Lower bound on the length of any single-issue schedule:
+    /// `max(instruction count, critical path length)`.
+    ///
+    /// ```
+    /// use sched_ir::figure1;
+    /// let ddg = figure1::ddg();
+    /// assert!(ddg.schedule_length_lb() >= ddg.len() as u32);
+    /// ```
+    pub fn schedule_length_lb(&self) -> Cycle {
+        (self.len() as Cycle).max(self.critical_path_length())
+    }
+
+    /// Per-class register statistics of the region.
+    pub fn reg_stats(&self) -> RegStats {
+        // use_count per register; defined set.
+        let mut use_count: HashMap<crate::instr::Reg, u32> = HashMap::new();
+        let mut defined: HashMap<crate::instr::Reg, InstrId> = HashMap::new();
+        for id in self.ids() {
+            let instr = self.instr(id);
+            for &r in instr.uses() {
+                *use_count.entry(r).or_insert(0) += 1;
+            }
+            for &r in instr.defs() {
+                defined.entry(r).or_insert(id);
+            }
+        }
+        let mut live_in = [0usize; REG_CLASS_COUNT];
+        let mut live_out = [0usize; REG_CLASS_COUNT];
+        let mut reg_count = [0usize; REG_CLASS_COUNT];
+        for &r in use_count.keys() {
+            if !defined.contains_key(&r) {
+                live_in[r.class.index()] += 1;
+            }
+        }
+        for &r in defined.keys() {
+            reg_count[r.class.index()] += 1;
+            if !use_count.contains_key(&r) {
+                live_out[r.class.index()] += 1;
+            }
+        }
+        for c in 0..REG_CLASS_COUNT {
+            reg_count[c] += live_in[c];
+        }
+        RegStats {
+            live_in,
+            live_out,
+            reg_count,
+        }
+    }
+
+    /// Per-class lower bound on the peak register pressure of any schedule.
+    ///
+    /// Sound components: all live-in registers of a class are simultaneously
+    /// live at region entry; all live-out registers (defined but never used
+    /// in the region) are simultaneously live at region exit; and any single
+    /// instruction's defs are simultaneously live right after it issues.
+    pub fn rp_lower_bound(&self) -> [usize; REG_CLASS_COUNT] {
+        let stats = self.reg_stats();
+        let mut lb = [0usize; REG_CLASS_COUNT];
+        for class in RegClass::ALL {
+            let c = class.index();
+            lb[c] = stats.live_in[c].max(stats.live_out[c]);
+            for id in self.ids() {
+                lb[c] = lb[c].max(self.instr(id).defs_of(class));
+            }
+        }
+        lb
+    }
+}
+
+/// Per-class register statistics of a region (see [`Ddg::reg_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegStats {
+    /// Registers used but never defined in the region, per class.
+    pub live_in: [usize; REG_CLASS_COUNT],
+    /// Registers defined but never used in the region, per class.
+    pub live_out: [usize; REG_CLASS_COUNT],
+    /// Distinct registers mentioned in the region, per class.
+    pub reg_count: [usize; REG_CLASS_COUNT],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::instr::Reg;
+
+    #[test]
+    fn earliest_starts_follow_longest_path() {
+        // a --2--> b --3--> d ;  a --1--> c --1--> d
+        let mut bld = DdgBuilder::new();
+        let a = bld.instr("a", [], []);
+        let b = bld.instr("b", [], []);
+        let c = bld.instr("c", [], []);
+        let d = bld.instr("d", [], []);
+        bld.edge(a, b, 2).unwrap();
+        bld.edge(b, d, 3).unwrap();
+        bld.edge(a, c, 1).unwrap();
+        bld.edge(c, d, 1).unwrap();
+        let g = bld.build().unwrap();
+        let est = g.earliest_starts();
+        assert_eq!(est[a.index()], 0);
+        assert_eq!(est[b.index()], 2);
+        assert_eq!(est[c.index()], 1);
+        assert_eq!(est[d.index()], 5);
+        assert_eq!(g.critical_path_length(), 6);
+        assert_eq!(g.schedule_length_lb(), 6); // cp (6) > n (4)
+    }
+
+    #[test]
+    fn length_lb_is_instruction_count_when_no_latency() {
+        let mut bld = DdgBuilder::new();
+        for i in 0..5 {
+            bld.instr(format!("i{i}"), [], []);
+        }
+        let g = bld.build().unwrap();
+        assert_eq!(g.critical_path_length(), 1);
+        assert_eq!(g.schedule_length_lb(), 5);
+    }
+
+    #[test]
+    fn distance_to_leaf_counts_own_cycle() {
+        let mut bld = DdgBuilder::new();
+        let a = bld.instr("a", [], []);
+        let b = bld.instr("b", [], []);
+        bld.edge(a, b, 4).unwrap();
+        let g = bld.build().unwrap();
+        let d = g.distance_to_leaf();
+        assert_eq!(d[b.index()], 1);
+        assert_eq!(d[a.index()], 5);
+    }
+
+    #[test]
+    fn zero_latency_edges_still_cost_a_cycle_in_cp() {
+        // On a single-issue machine consecutive instructions occupy distinct
+        // cycles even with latency 0.
+        let mut bld = DdgBuilder::new();
+        let a = bld.instr("a", [], []);
+        let b = bld.instr("b", [], []);
+        bld.edge(a, b, 0).unwrap();
+        let g = bld.build().unwrap();
+        assert_eq!(g.distance_to_leaf()[a.index()], 2);
+    }
+
+    #[test]
+    fn reg_stats_classifies_live_in_and_out() {
+        let mut bld = DdgBuilder::new();
+        // uses v0 (live-in), defines v1 used later, defines v2 never used
+        // (live-out), defines s0 never used (live-out).
+        let a = bld.instr("a", [Reg::vgpr(1), Reg::vgpr(2)], [Reg::vgpr(0)]);
+        let b = bld.instr("b", [Reg::sgpr(0)], [Reg::vgpr(1)]);
+        bld.edge(a, b, 1).unwrap();
+        let g = bld.build().unwrap();
+        let s = g.reg_stats();
+        assert_eq!(s.live_in[RegClass::Vgpr.index()], 1);
+        assert_eq!(s.live_in[RegClass::Sgpr.index()], 0);
+        assert_eq!(s.live_out[RegClass::Vgpr.index()], 1); // v2
+        assert_eq!(s.live_out[RegClass::Sgpr.index()], 1); // s0
+        assert_eq!(s.reg_count[RegClass::Vgpr.index()], 3); // v0, v1, v2
+    }
+
+    #[test]
+    fn rp_lb_covers_wide_defs() {
+        let mut bld = DdgBuilder::new();
+        bld.instr("wide", [Reg::vgpr(0), Reg::vgpr(1), Reg::vgpr(2)], []);
+        let g = bld.build().unwrap();
+        assert_eq!(g.rp_lower_bound()[RegClass::Vgpr.index()], 3);
+    }
+
+    #[test]
+    fn empty_region_bounds() {
+        let g = DdgBuilder::new().build().unwrap();
+        assert_eq!(g.schedule_length_lb(), 0);
+        assert_eq!(g.rp_lower_bound(), [0, 0]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Construction and validation of [`Ddg`]s.
+
+use crate::ddg::Ddg;
+use crate::instr::{InstrId, Instruction, Reg};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a [`DdgBuilder`] is given an invalid graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DdgError {
+    /// An edge referenced an instruction id that was never added.
+    UnknownInstr(InstrId),
+    /// A self edge `x -> x` was added.
+    SelfEdge(InstrId),
+    /// The dependence graph contains a cycle (no topological order exists).
+    Cyclic,
+}
+
+impl fmt::Display for DdgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdgError::UnknownInstr(id) => write!(f, "edge references unknown instruction {id}"),
+            DdgError::SelfEdge(id) => write!(f, "self edge on instruction {id}"),
+            DdgError::Cyclic => write!(f, "dependence graph contains a cycle"),
+        }
+    }
+}
+
+impl Error for DdgError {}
+
+/// Incremental builder for a [`Ddg`].
+///
+/// # Example
+///
+/// ```
+/// use sched_ir::{DdgBuilder, Reg};
+///
+/// let mut b = DdgBuilder::new();
+/// let producer = b.instr("load", [Reg::vgpr(0)], []);
+/// let consumer = b.instr("use", [], [Reg::vgpr(0)]);
+/// b.edge(producer, consumer, 8)?;
+/// let ddg = b.build()?;
+/// assert_eq!(ddg.len(), 2);
+/// # Ok::<(), sched_ir::DdgError>(())
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DdgBuilder {
+    instrs: Vec<Instruction>,
+    edges: Vec<(InstrId, InstrId, u16)>,
+}
+
+impl DdgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> DdgBuilder {
+        DdgBuilder::default()
+    }
+
+    /// Adds an instruction and returns its id.
+    pub fn instr(
+        &mut self,
+        name: impl Into<String>,
+        defs: impl IntoIterator<Item = Reg>,
+        uses: impl IntoIterator<Item = Reg>,
+    ) -> InstrId {
+        let id = InstrId(self.instrs.len() as u32);
+        self.instrs.push(Instruction::new(name, defs, uses));
+        id
+    }
+
+    /// Adds a pre-built instruction and returns its id.
+    pub fn push(&mut self, instruction: Instruction) -> InstrId {
+        let id = InstrId(self.instrs.len() as u32);
+        self.instrs.push(instruction);
+        id
+    }
+
+    /// Adds a dependence edge with the given latency.
+    ///
+    /// A latency of `l` means the consumer may issue no earlier than
+    /// `l` cycles after the producer (producer cycle + latency).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdgError::UnknownInstr`] if either endpoint has not been
+    /// added, or [`DdgError::SelfEdge`] for an `x -> x` edge.
+    pub fn edge(&mut self, from: InstrId, to: InstrId, latency: u16) -> Result<(), DdgError> {
+        let n = self.instrs.len() as u32;
+        for &id in &[from, to] {
+            if id.0 >= n {
+                return Err(DdgError::UnknownInstr(id));
+            }
+        }
+        if from == to {
+            return Err(DdgError::SelfEdge(from));
+        }
+        self.edges.push((from, to, latency));
+        Ok(())
+    }
+
+    /// Number of instructions added so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instruction has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Validates the graph and produces an immutable [`Ddg`].
+    ///
+    /// Duplicate edges between the same pair are merged, keeping the largest
+    /// latency (the binding constraint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdgError::Cyclic`] if the edges admit no topological order.
+    pub fn build(self) -> Result<Ddg, DdgError> {
+        let n = self.instrs.len();
+        let mut succs: Vec<Vec<(InstrId, u16)>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<(InstrId, u16)>> = vec![Vec::new(); n];
+        for (from, to, lat) in self.edges {
+            // Merge duplicates, keeping max latency.
+            match succs[from.index()].iter_mut().find(|(t, _)| *t == to) {
+                Some((_, l)) => {
+                    if lat > *l {
+                        *l = lat;
+                        let p = preds[to.index()]
+                            .iter_mut()
+                            .find(|(f, _)| *f == from)
+                            .expect("pred mirror of existing succ edge");
+                        p.1 = lat;
+                    }
+                }
+                None => {
+                    succs[from.index()].push((to, lat));
+                    preds[to.index()].push((from, lat));
+                }
+            }
+        }
+
+        // Kahn's algorithm for topological sort + cycle detection.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut queue: VecDeque<InstrId> = (0..n as u32)
+            .map(InstrId)
+            .filter(|i| indeg[i.index()] == 0)
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(id) = queue.pop_front() {
+            topo.push(id);
+            for &(s, _) in &succs[id.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(DdgError::Cyclic);
+        }
+
+        Ok(Ddg {
+            instrs: self.instrs,
+            succs,
+            preds,
+            topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_endpoints() {
+        let mut b = DdgBuilder::new();
+        let a = b.instr("a", [], []);
+        assert_eq!(
+            b.edge(a, InstrId(5), 1),
+            Err(DdgError::UnknownInstr(InstrId(5)))
+        );
+        assert_eq!(
+            b.edge(InstrId(7), a, 1),
+            Err(DdgError::UnknownInstr(InstrId(7)))
+        );
+    }
+
+    #[test]
+    fn rejects_self_edges() {
+        let mut b = DdgBuilder::new();
+        let a = b.instr("a", [], []);
+        assert_eq!(b.edge(a, a, 1), Err(DdgError::SelfEdge(a)));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let mut b = DdgBuilder::new();
+        let a = b.instr("a", [], []);
+        let c = b.instr("b", [], []);
+        b.edge(a, c, 1).unwrap();
+        b.edge(c, a, 1).unwrap();
+        assert_eq!(b.build().unwrap_err(), DdgError::Cyclic);
+    }
+
+    #[test]
+    fn merges_duplicate_edges_keeping_max_latency() {
+        let mut b = DdgBuilder::new();
+        let a = b.instr("a", [], []);
+        let c = b.instr("b", [], []);
+        b.edge(a, c, 2).unwrap();
+        b.edge(a, c, 9).unwrap();
+        b.edge(a, c, 4).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.succs(a), &[(c, 9)]);
+        assert_eq!(g.preds(c), &[(a, 9)]);
+    }
+
+    #[test]
+    fn push_prebuilt_instruction() {
+        let mut b = DdgBuilder::new();
+        let id = b.push(Instruction::new("nop", [], []));
+        assert_eq!(id, InstrId(0));
+        assert!(!b.is_empty());
+        assert_eq!(b.len(), 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.instr(id).name(), "nop");
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(DdgError::Cyclic.to_string().contains("cycle"));
+        assert!(DdgError::SelfEdge(InstrId(1)).to_string().contains("i1"));
+        assert!(DdgError::UnknownInstr(InstrId(2))
+            .to_string()
+            .contains("i2"));
+    }
+}

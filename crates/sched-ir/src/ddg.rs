@@ -1,0 +1,266 @@
+//! The data dependence graph of a scheduling region.
+
+use crate::bitmatrix::BitMatrix;
+use crate::instr::{InstrId, Instruction};
+
+/// A data dependence graph (DDG): the input to every scheduler.
+///
+/// Nodes are [`Instruction`]s, edges carry latencies. A `Ddg` is immutable
+/// and validated at construction time (see [`crate::DdgBuilder`]): it is
+/// guaranteed acyclic, and `topo_order` is a cached topological order.
+///
+/// Mirrors the problem definition of Section II-A of the paper: "In a DDG, a
+/// node represents an instruction, an edge represents a dependency and an
+/// edge label represents a latency."
+#[derive(Debug, Clone)]
+pub struct Ddg {
+    pub(crate) instrs: Vec<Instruction>,
+    pub(crate) succs: Vec<Vec<(InstrId, u16)>>,
+    pub(crate) preds: Vec<Vec<(InstrId, u16)>>,
+    pub(crate) topo: Vec<InstrId>,
+}
+
+impl Ddg {
+    /// Number of instructions in the region.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn instr(&self, id: InstrId) -> &Instruction {
+        &self.instrs[id.index()]
+    }
+
+    /// All instructions, indexed by [`InstrId`].
+    pub fn instrs(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Successor edges of `id` as `(successor, latency)` pairs.
+    pub fn succs(&self, id: InstrId) -> &[(InstrId, u16)] {
+        &self.succs[id.index()]
+    }
+
+    /// Predecessor edges of `id` as `(predecessor, latency)` pairs.
+    pub fn preds(&self, id: InstrId) -> &[(InstrId, u16)] {
+        &self.preds[id.index()]
+    }
+
+    /// Number of dependence edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// Instructions with no predecessors (ready at cycle 0).
+    pub fn roots(&self) -> impl Iterator<Item = InstrId> + '_ {
+        (0..self.len() as u32)
+            .map(InstrId)
+            .filter(|&i| self.preds(i).is_empty())
+    }
+
+    /// Instructions with no successors.
+    pub fn leaves(&self) -> impl Iterator<Item = InstrId> + '_ {
+        (0..self.len() as u32)
+            .map(InstrId)
+            .filter(|&i| self.succs(i).is_empty())
+    }
+
+    /// A topological order of the instructions (cached at build time).
+    pub fn topo_order(&self) -> &[InstrId] {
+        &self.topo
+    }
+
+    /// Iterates over all instruction ids in index order.
+    pub fn ids(&self) -> impl Iterator<Item = InstrId> {
+        (0..self.len() as u32).map(InstrId)
+    }
+
+    /// Computes the transitive closure of the dependence relation.
+    ///
+    /// The closure answers, for every pair `(x, y)`, whether `y` transitively
+    /// depends on `x`. Section V-A of the paper uses it to derive a tight
+    /// upper bound on the ready-list size, which in turn sizes the
+    /// preallocated GPU arrays.
+    pub fn transitive_closure(&self) -> TransitiveClosure {
+        let n = self.len();
+        let mut reach = BitMatrix::new(n);
+        // Process in reverse topological order so each node's row already
+        // contains its successors' full reachability when merged.
+        for &id in self.topo.iter().rev() {
+            for &(succ, _) in self.succs(id) {
+                reach.set(id.index(), succ.index());
+                reach.or_row_into(succ.index(), id.index());
+            }
+        }
+        TransitiveClosure { reach }
+    }
+}
+
+/// The transitive closure of a [`Ddg`]'s dependence relation.
+///
+/// `depends(x, y)` is true when `y` must execute after `x` (there is a
+/// directed path `x -> ... -> y`).
+#[derive(Debug, Clone)]
+pub struct TransitiveClosure {
+    reach: BitMatrix,
+}
+
+impl TransitiveClosure {
+    /// Whether `later` transitively depends on `earlier`.
+    pub fn depends(&self, earlier: InstrId, later: InstrId) -> bool {
+        self.reach.get(earlier.index(), later.index())
+    }
+
+    /// Whether the two instructions are independent (neither reaches the
+    /// other, and they are distinct).
+    pub fn independent(&self, a: InstrId, b: InstrId) -> bool {
+        a != b && !self.depends(a, b) && !self.depends(b, a)
+    }
+
+    /// Number of instructions independent of `id`.
+    pub fn independent_count(&self, id: InstrId) -> usize {
+        let n = self.reach.len();
+        // n - 1 (self) - descendants - ancestors.
+        let desc = self.reach.count_row(id.index());
+        let anc = (0..n).filter(|&j| self.reach.get(j, id.index())).count();
+        n - 1 - desc - anc
+    }
+
+    /// The tight ready-list upper bound of Section V-A: one plus the maximum
+    /// number of independent instructions any instruction has.
+    ///
+    /// For the Figure-1 DDG this is 5, versus the loose bound of 7 (the
+    /// instruction count).
+    pub fn ready_list_ub(&self) -> usize {
+        let n = self.reach.len();
+        if n == 0 {
+            return 0;
+        }
+        let max_indep = (0..n as u32)
+            .map(|i| self.independent_count(InstrId(i)))
+            .max()
+            .unwrap_or(0);
+        (1 + max_indep).min(n)
+    }
+
+    /// Side length (number of instructions).
+    pub fn len(&self) -> usize {
+        self.reach.len()
+    }
+
+    /// Whether the closure covers zero instructions.
+    pub fn is_empty(&self) -> bool {
+        self.reach.is_empty()
+    }
+
+    /// Iterates over the transitive successors of `id`.
+    pub fn descendants(&self, id: InstrId) -> impl Iterator<Item = InstrId> + '_ {
+        self.reach.iter_row(id.index()).map(|j| InstrId(j as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::DdgBuilder;
+    use crate::instr::InstrId;
+
+    /// Builds a diamond: a -> b, a -> c, b -> d, c -> d.
+    fn diamond() -> crate::Ddg {
+        let mut b = DdgBuilder::new();
+        let a = b.instr("a", [], []);
+        let x = b.instr("b", [], []);
+        let y = b.instr("c", [], []);
+        let d = b.instr("d", [], []);
+        b.edge(a, x, 1).unwrap();
+        b.edge(a, y, 1).unwrap();
+        b.edge(x, d, 1).unwrap();
+        b.edge(y, d, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let g = diamond();
+        assert_eq!(g.roots().collect::<Vec<_>>(), vec![InstrId(0)]);
+        assert_eq!(g.leaves().collect::<Vec<_>>(), vec![InstrId(3)]);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; g.len()];
+            for (i, id) in g.topo_order().iter().enumerate() {
+                pos[id.index()] = i;
+            }
+            pos
+        };
+        for id in g.ids() {
+            for &(s, _) in g.succs(id) {
+                assert!(pos[id.index()] < pos[s.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn closure_diamond() {
+        let g = diamond();
+        let tc = g.transitive_closure();
+        let (a, b, c, d) = (InstrId(0), InstrId(1), InstrId(2), InstrId(3));
+        assert!(tc.depends(a, d)); // transitive
+        assert!(tc.depends(a, b));
+        assert!(!tc.depends(d, a));
+        assert!(tc.independent(b, c));
+        assert!(!tc.independent(a, a));
+        assert_eq!(tc.independent_count(b), 1); // only c
+        assert_eq!(tc.ready_list_ub(), 2);
+    }
+
+    #[test]
+    fn closure_descendants() {
+        let g = diamond();
+        let tc = g.transitive_closure();
+        let mut desc: Vec<_> = tc.descendants(InstrId(0)).collect();
+        desc.sort();
+        assert_eq!(desc, vec![InstrId(1), InstrId(2), InstrId(3)]);
+    }
+
+    #[test]
+    fn independent_chain_has_ub_one() {
+        let mut b = DdgBuilder::new();
+        let i0 = b.instr("x", [], []);
+        let i1 = b.instr("y", [], []);
+        let i2 = b.instr("z", [], []);
+        b.edge(i0, i1, 1).unwrap();
+        b.edge(i1, i2, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.transitive_closure().ready_list_ub(), 1);
+    }
+
+    #[test]
+    fn fully_independent_has_ub_n() {
+        let mut b = DdgBuilder::new();
+        for i in 0..6 {
+            b.instr(format!("i{i}"), [], []);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.transitive_closure().ready_list_ub(), 6);
+    }
+
+    #[test]
+    fn empty_ddg() {
+        let g = DdgBuilder::new().build().unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.transitive_closure().ready_list_ub(), 0);
+    }
+}

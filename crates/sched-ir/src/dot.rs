@@ -1,0 +1,98 @@
+//! Graphviz (DOT) export of DDGs and schedules — a debugging aid for
+//! inspecting generated regions and scheduler decisions.
+
+use crate::ddg::Ddg;
+use crate::schedule::Schedule;
+use std::fmt::Write;
+
+/// Renders the DDG in Graphviz DOT syntax.
+///
+/// Nodes are labelled `name\ndefs/uses`; edges are labelled with their
+/// latency.
+///
+/// ```
+/// let ddg = sched_ir::figure1::ddg();
+/// let dot = sched_ir::dot::to_dot(&ddg);
+/// assert!(dot.starts_with("digraph ddg {"));
+/// assert!(dot.contains("label=\"4\""));
+/// ```
+pub fn to_dot(ddg: &Ddg) -> String {
+    let mut out = String::from("digraph ddg {\n  rankdir=TB;\n  node [shape=box];\n");
+    for id in ddg.ids() {
+        let instr = ddg.instr(id);
+        let defs: Vec<String> = instr.defs().iter().map(|r| r.to_string()).collect();
+        let uses: Vec<String> = instr.uses().iter().map(|r| r.to_string()).collect();
+        writeln!(
+            out,
+            "  n{} [label=\"{}\\ndefs: {}\\nuses: {}\"];",
+            id.0,
+            instr.name(),
+            defs.join(","),
+            uses.join(",")
+        )
+        .expect("writing to a String cannot fail");
+    }
+    for id in ddg.ids() {
+        for &(s, lat) in ddg.succs(id) {
+            writeln!(out, "  n{} -> n{} [label=\"{}\"];", id.0, s.0, lat)
+                .expect("writing to a String cannot fail");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Like [`to_dot`] but annotates every node with its issue cycle in the
+/// given schedule.
+///
+/// # Panics
+///
+/// Panics if the schedule covers a different number of instructions.
+pub fn to_dot_with_schedule(ddg: &Ddg, schedule: &Schedule) -> String {
+    assert_eq!(schedule.len(), ddg.len(), "schedule must cover the region");
+    let mut out = String::from("digraph ddg {\n  rankdir=TB;\n  node [shape=box];\n");
+    for id in ddg.ids() {
+        writeln!(
+            out,
+            "  n{} [label=\"{} @ cycle {}\"];",
+            id.0,
+            ddg.instr(id).name(),
+            schedule.cycle(id)
+        )
+        .expect("writing to a String cannot fail");
+    }
+    for id in ddg.ids() {
+        for &(s, lat) in ddg.succs(id) {
+            writeln!(out, "  n{} -> n{} [label=\"{}\"];", id.0, s.0, lat)
+                .expect("writing to a String cannot fail");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1;
+
+    #[test]
+    fn dot_mentions_every_node_and_edge() {
+        let ddg = figure1::ddg();
+        let dot = to_dot(&ddg);
+        for id in ddg.ids() {
+            assert!(dot.contains(&format!("n{} [", id.0)));
+        }
+        assert_eq!(dot.matches(" -> ").count(), ddg.edge_count());
+        assert!(dot.contains("defs: v1"));
+    }
+
+    #[test]
+    fn dot_with_schedule_shows_cycles() {
+        let ddg = figure1::ddg();
+        let s = Schedule::from_order(&ddg, ddg.topo_order());
+        let dot = to_dot_with_schedule(&ddg, &s);
+        assert!(dot.contains("@ cycle 0"));
+        assert_eq!(dot.matches(" -> ").count(), ddg.edge_count());
+    }
+}

@@ -1,0 +1,308 @@
+//! Schedules: assignments of issue cycles to instructions.
+
+use crate::ddg::Ddg;
+use crate::instr::InstrId;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A machine cycle index within a schedule.
+pub type Cycle = u32;
+
+/// Error produced by [`Schedule::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The schedule covers a different number of instructions than the DDG.
+    WrongLength { expected: usize, actual: usize },
+    /// A latency constraint `from -> to` is violated.
+    LatencyViolation {
+        from: InstrId,
+        to: InstrId,
+        required: Cycle,
+        actual: Cycle,
+    },
+    /// Two instructions share a cycle on a single-issue machine.
+    IssueConflict {
+        cycle: Cycle,
+        a: InstrId,
+        b: InstrId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::WrongLength { expected, actual } => {
+                write!(f, "schedule has {actual} instructions, DDG has {expected}")
+            }
+            ScheduleError::LatencyViolation {
+                from,
+                to,
+                required,
+                actual,
+            } => write!(
+                f,
+                "latency violation: {to} must issue at cycle {required} or later \
+                 (producer {from}), but issues at {actual}"
+            ),
+            ScheduleError::IssueConflict { cycle, a, b } => {
+                write!(
+                    f,
+                    "single-issue conflict at cycle {cycle} between {a} and {b}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// A schedule: one issue cycle per instruction of a region.
+///
+/// A schedule is more than an order — on a latency-constrained target some
+/// cycles hold no instruction (stalls). This matches the paper's output
+/// definition: "an assignment of a machine cycle to each instruction".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    cycles: Vec<Cycle>,
+}
+
+impl Schedule {
+    /// Creates a schedule from per-instruction cycles (indexed by
+    /// [`InstrId`]).
+    pub fn from_cycles(cycles: Vec<Cycle>) -> Schedule {
+        Schedule { cycles }
+    }
+
+    /// Builds the single-issue schedule obtained by issuing instructions in
+    /// `order` as early as latencies allow, inserting necessary stalls.
+    ///
+    /// This is how a pass-1 (latency-free) instruction *order* is converted
+    /// into a timed schedule, as done between the two passes in Section IV-C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the DDG's instructions that
+    /// respects its precedence constraints.
+    pub fn from_order(ddg: &Ddg, order: &[InstrId]) -> Schedule {
+        assert_eq!(order.len(), ddg.len(), "order must cover the whole region");
+        let mut cycles = vec![0 as Cycle; ddg.len()];
+        let mut done = vec![false; ddg.len()];
+        let mut next_free: Cycle = 0;
+        for &id in order {
+            let mut earliest = next_free;
+            for &(p, lat) in ddg.preds(id) {
+                assert!(done[p.index()], "order violates precedence: {p} after {id}");
+                earliest = earliest.max(cycles[p.index()] + lat as Cycle);
+            }
+            cycles[id.index()] = earliest;
+            done[id.index()] = true;
+            next_free = earliest + 1;
+        }
+        assert!(done.iter().all(|&d| d), "order is not a permutation");
+        Schedule { cycles }
+    }
+
+    /// The issue cycle of an instruction.
+    pub fn cycle(&self, id: InstrId) -> Cycle {
+        self.cycles[id.index()]
+    }
+
+    /// Per-instruction cycles, indexed by [`InstrId`].
+    pub fn cycles(&self) -> &[Cycle] {
+        &self.cycles
+    }
+
+    /// Number of instructions covered.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether the schedule covers zero instructions.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Schedule length in cycles: `1 + max cycle` (0 when empty).
+    pub fn length(&self) -> Cycle {
+        self.cycles.iter().max().map_or(0, |&m| m + 1)
+    }
+
+    /// Number of stall cycles on a single-issue machine
+    /// (`length - instruction count`).
+    pub fn stalls(&self) -> Cycle {
+        self.length().saturating_sub(self.cycles.len() as Cycle)
+    }
+
+    /// Instructions sorted by issue cycle.
+    pub fn order(&self) -> Vec<InstrId> {
+        let mut ids: Vec<InstrId> = (0..self.cycles.len() as u32).map(InstrId).collect();
+        ids.sort_by_key(|id| (self.cycles[id.index()], id.0));
+        ids
+    }
+
+    /// Validates the schedule against a DDG and the single-issue model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint: length mismatch, a latency
+    /// violation, or two instructions issued in the same cycle.
+    pub fn validate(&self, ddg: &Ddg) -> Result<(), ScheduleError> {
+        if self.cycles.len() != ddg.len() {
+            return Err(ScheduleError::WrongLength {
+                expected: ddg.len(),
+                actual: self.cycles.len(),
+            });
+        }
+        for id in ddg.ids() {
+            for &(succ, lat) in ddg.succs(id) {
+                let required = self.cycle(id) + lat as Cycle;
+                if self.cycle(succ) < required {
+                    return Err(ScheduleError::LatencyViolation {
+                        from: id,
+                        to: succ,
+                        required,
+                        actual: self.cycle(succ),
+                    });
+                }
+            }
+        }
+        let order = self.order();
+        for pair in order.windows(2) {
+            if self.cycle(pair[0]) == self.cycle(pair[1]) {
+                return Err(ScheduleError::IssueConflict {
+                    cycle: self.cycle(pair[0]),
+                    a: pair[0],
+                    b: pair[1],
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule[len={}]", self.length())?;
+        let order = self.order();
+        let mut next: Cycle = 0;
+        for id in order {
+            let c = self.cycle(id);
+            while next < c {
+                write!(f, " _")?;
+                next += 1;
+            }
+            write!(f, " {id}@{c}")?;
+            next = c + 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+
+    fn chain_lat(lats: &[u16]) -> Ddg {
+        let mut b = DdgBuilder::new();
+        let ids: Vec<InstrId> = (0..=lats.len())
+            .map(|i| b.instr(format!("i{i}"), [], []))
+            .collect();
+        for (i, &l) in lats.iter().enumerate() {
+            b.edge(ids[i], ids[i + 1], l).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn from_order_inserts_necessary_stalls() {
+        let g = chain_lat(&[3]);
+        let s = Schedule::from_order(&g, &[InstrId(0), InstrId(1)]);
+        assert_eq!(s.cycle(InstrId(0)), 0);
+        assert_eq!(s.cycle(InstrId(1)), 3);
+        assert_eq!(s.length(), 4);
+        assert_eq!(s.stalls(), 2);
+        s.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn from_order_packs_latency_free_chain() {
+        let g = chain_lat(&[1, 1, 1]);
+        let order: Vec<InstrId> = (0..4).map(InstrId).collect();
+        let s = Schedule::from_order(&g, &order);
+        assert_eq!(s.length(), 4);
+        assert_eq!(s.stalls(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_latency_violation() {
+        let g = chain_lat(&[5]);
+        let s = Schedule::from_cycles(vec![0, 2]);
+        match s.validate(&g) {
+            Err(ScheduleError::LatencyViolation {
+                required: 5,
+                actual: 2,
+                ..
+            }) => {}
+            other => panic!("expected latency violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_issue_conflict() {
+        let mut b = DdgBuilder::new();
+        b.instr("a", [], []);
+        b.instr("b", [], []);
+        let g = b.build().unwrap();
+        let s = Schedule::from_cycles(vec![1, 1]);
+        assert!(matches!(
+            s.validate(&g),
+            Err(ScheduleError::IssueConflict { cycle: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_length() {
+        let g = chain_lat(&[1]);
+        let s = Schedule::from_cycles(vec![0]);
+        assert_eq!(
+            s.validate(&g),
+            Err(ScheduleError::WrongLength {
+                expected: 2,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn order_sorts_by_cycle() {
+        let s = Schedule::from_cycles(vec![5, 0, 3]);
+        assert_eq!(s.order(), vec![InstrId(1), InstrId(2), InstrId(0)]);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::from_cycles(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.length(), 0);
+        assert_eq!(s.stalls(), 0);
+    }
+
+    #[test]
+    fn display_shows_stall_slots() {
+        let g = chain_lat(&[2]);
+        let s = Schedule::from_order(&g, &[InstrId(0), InstrId(1)]);
+        let txt = s.to_string();
+        assert!(txt.contains("i0@0"));
+        assert!(txt.contains("_"), "stall cycle rendered: {txt}");
+        assert!(txt.contains("i1@2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "violates precedence")]
+    fn from_order_panics_on_precedence_violation() {
+        let g = chain_lat(&[1]);
+        let _ = Schedule::from_order(&g, &[InstrId(1), InstrId(0)]);
+    }
+}

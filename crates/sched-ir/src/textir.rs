@@ -1,0 +1,210 @@
+//! A plain-text interchange format for scheduling regions.
+//!
+//! One region per file, one item per line:
+//!
+//! ```text
+//! # comment
+//! instr <name> [defs <reg>,<reg>,...] [uses <reg>,...]
+//! edge <from-index> <to-index> <latency>
+//! ```
+//!
+//! Registers are written AMD-style: `v<N>` (VGPR) or `s<N>` (SGPR).
+//! Instruction indices refer to `instr` lines in order of appearance.
+//! The format round-trips through [`to_text`] / [`parse`].
+//!
+//! # Example
+//!
+//! ```
+//! let text = "\
+//! instr load defs v0 uses s0
+//! instr add defs v1 uses v0
+//! edge 0 1 4
+//! ";
+//! let ddg = sched_ir::textir::parse(text).unwrap();
+//! assert_eq!(ddg.len(), 2);
+//! assert_eq!(sched_ir::textir::parse(&sched_ir::textir::to_text(&ddg)).unwrap().len(), 2);
+//! ```
+
+use crate::builder::DdgBuilder;
+use crate::ddg::Ddg;
+use crate::instr::{InstrId, Reg};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTextError {
+    /// 1-indexed line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTextError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseTextError {
+    ParseTextError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseTextError> {
+    let (class, rest) = tok.split_at(1.min(tok.len()));
+    let id: u32 = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    match class {
+        "v" => Ok(Reg::vgpr(id)),
+        "s" => Ok(Reg::sgpr(id)),
+        _ => Err(err(
+            line,
+            format!("bad register class in `{tok}` (expected v<N> or s<N>)"),
+        )),
+    }
+}
+
+fn parse_reg_list(tok: &str, line: usize) -> Result<Vec<Reg>, ParseTextError> {
+    tok.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| parse_reg(t, line))
+        .collect()
+}
+
+/// Parses a region from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseTextError`] naming the first offending line: unknown
+/// directives, malformed registers/indices, out-of-range edge endpoints,
+/// or a graph the [`DdgBuilder`] rejects (self edges, cycles).
+pub fn parse(text: &str) -> Result<Ddg, ParseTextError> {
+    let mut b = DdgBuilder::new();
+    let mut edges: Vec<(usize, u32, u32, u16)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("instr") => {
+                let name = toks
+                    .next()
+                    .ok_or_else(|| err(line_no, "instr needs a name"))?
+                    .to_string();
+                let mut defs = Vec::new();
+                let mut uses = Vec::new();
+                while let Some(kw) = toks.next() {
+                    let list = toks
+                        .next()
+                        .ok_or_else(|| err(line_no, format!("{kw} needs a list")))?;
+                    match kw {
+                        "defs" => defs = parse_reg_list(list, line_no)?,
+                        "uses" => uses = parse_reg_list(list, line_no)?,
+                        other => return Err(err(line_no, format!("unknown keyword `{other}`"))),
+                    }
+                }
+                b.instr(name, defs, uses);
+            }
+            Some("edge") => {
+                let mut num = |what: &str| -> Result<u32, ParseTextError> {
+                    toks.next()
+                        .ok_or_else(|| err(line_no, format!("edge needs {what}")))?
+                        .parse()
+                        .map_err(|_| err(line_no, format!("bad {what}")))
+                };
+                let from = num("a from-index")?;
+                let to = num("a to-index")?;
+                let lat = num("a latency")? as u16;
+                edges.push((line_no, from, to, lat));
+            }
+            Some(other) => return Err(err(line_no, format!("unknown directive `{other}`"))),
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    for (line_no, from, to, lat) in edges {
+        b.edge(InstrId(from), InstrId(to), lat)
+            .map_err(|e| err(line_no, e.to_string()))?;
+    }
+    b.build().map_err(|e| err(0, e.to_string()))
+}
+
+/// Renders a region in the text format (inverse of [`parse`]).
+pub fn to_text(ddg: &Ddg) -> String {
+    let mut out = String::new();
+    for id in ddg.ids() {
+        let instr = ddg.instr(id);
+        out.push_str("instr ");
+        out.push_str(instr.name());
+        if !instr.defs().is_empty() {
+            let regs: Vec<String> = instr.defs().iter().map(|r| r.to_string()).collect();
+            out.push_str(" defs ");
+            out.push_str(&regs.join(","));
+        }
+        if !instr.uses().is_empty() {
+            let regs: Vec<String> = instr.uses().iter().map(|r| r.to_string()).collect();
+            out.push_str(" uses ");
+            out.push_str(&regs.join(","));
+        }
+        out.push('\n');
+    }
+    for id in ddg.ids() {
+        for &(s, lat) in ddg.succs(id) {
+            out.push_str(&format!("edge {} {} {}\n", id.0, s.0, lat));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1;
+
+    #[test]
+    fn figure1_roundtrips() {
+        let ddg = figure1::ddg();
+        let text = to_text(&ddg);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.len(), ddg.len());
+        assert_eq!(back.edge_count(), ddg.edge_count());
+        for id in ddg.ids() {
+            assert_eq!(back.instr(id).name(), ddg.instr(id).name());
+            assert_eq!(back.instr(id).defs(), ddg.instr(id).defs());
+            assert_eq!(back.succs(id), ddg.succs(id));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let ddg =
+            parse("# header\n\ninstr a defs v0\n# mid\ninstr b uses v0\nedge 0 1 2\n").unwrap();
+        assert_eq!(ddg.len(), 2);
+        assert_eq!(ddg.succs(InstrId(0)), &[(InstrId(1), 2)]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(parse("bogus x").unwrap_err().line, 1);
+        assert_eq!(parse("instr a\nedge 0 7 1").unwrap_err().line, 2);
+        assert_eq!(parse("instr a defs q7").unwrap_err().line, 1);
+        assert!(
+            parse("instr a\ninstr b\nedge 0 1 1\nedge 1 0 1").is_err(),
+            "cycle"
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = parse("edge 0 0 1").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+}

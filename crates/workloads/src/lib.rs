@@ -1,0 +1,27 @@
+//! rocPRIM-shaped scheduling workloads.
+//!
+//! The paper evaluates on the rocPRIM benchmarks: 341 scheduling-sensitive
+//! benchmarks invoking 269 GPU kernels, yielding 181,883 scheduling regions
+//! (Table 1). Since ACO consumes only a region's DDG, this crate substitutes
+//! the LLVM-extracted regions with *generated* DDGs whose shapes mirror the
+//! kernels rocPRIM actually contains — reductions, scans, streaming
+//! transforms, sorting networks, stencils — plus layered random DAGs for
+//! variety, with a region-size distribution matched to Table 1.
+//!
+//! Everything is seeded and deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::patterns;
+//!
+//! let ddg = patterns::reduction(16, 42);
+//! assert!(ddg.len() >= 16);
+//! let ddg = patterns::sized(100, 7); // ~100-instruction mixed region
+//! assert!(ddg.len() >= 80 && ddg.len() <= 120);
+//! ```
+
+pub mod patterns;
+pub mod suite;
+
+pub use suite::{Benchmark, Kernel, Suite, SuiteConfig};

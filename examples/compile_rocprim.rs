@@ -1,0 +1,80 @@
+//! Compiles a rocPRIM-like benchmark suite end to end with the base AMD
+//! scheduler and with parallel ACO, and reports the aggregate effects —
+//! a miniature of the paper's Tables 1, 2 and 5.
+//!
+//! ```sh
+//! cargo run --release --example compile_rocprim
+//! ```
+
+use gpu_aco::compile::{compile_suite, PipelineConfig, SchedulerKind};
+use gpu_aco::machine::OccupancyModel;
+use workloads::{Suite, SuiteConfig};
+
+fn main() {
+    // A scaled-down suite (the paper's full scale is 341 benchmarks /
+    // 269 kernels / ~182k regions; scale it with `SuiteConfig::scaled`).
+    let suite_cfg = SuiteConfig::scaled(2024, 0.02);
+    let suite = Suite::generate(&suite_cfg);
+    let occ = OccupancyModel::vega_like();
+    println!(
+        "suite: {} benchmarks, {} kernels, {} scheduling regions",
+        suite.benchmarks.len(),
+        suite.kernels.len(),
+        suite.region_count()
+    );
+
+    let mut base_cfg = PipelineConfig::paper(SchedulerKind::BaseAmd, 1);
+    base_cfg.aco.blocks = 16;
+    let mut aco_cfg = PipelineConfig::paper(SchedulerKind::ParallelAco, 1);
+    aco_cfg.aco.blocks = 16;
+
+    let base = compile_suite(&suite, &occ, &base_cfg);
+    let aco = compile_suite(&suite, &occ, &aco_cfg);
+
+    println!("\nACO activity:");
+    println!(
+        "  regions processed by ACO in pass 1: {}",
+        aco.pass1_count()
+    );
+    println!(
+        "  regions processed by ACO in pass 2: {}",
+        aco.pass2_count()
+    );
+    let reverted = aco.regions.iter().filter(|r| r.reverted).count();
+    println!("  post-filter reversions            : {reverted}");
+
+    println!("\naggregate schedule quality (ACO vs base AMD):");
+    let occ_impr = 100.0 * (aco.total_occupancy() as f64 - base.total_occupancy() as f64)
+        / base.total_occupancy() as f64;
+    let len_impr = 100.0 * (base.total_length() as f64 - aco.total_length() as f64)
+        / base.total_length() as f64;
+    println!("  overall occupancy increase     : {occ_impr:.2}%");
+    println!("  overall schedule-length change : {len_impr:.2}%");
+
+    println!("\ncompile time:");
+    println!("  base AMD     : {:8.2} s", base.compile_time_s);
+    println!(
+        "  parallel ACO : {:8.2} s (+{:.1}%)",
+        aco.compile_time_s,
+        100.0 * (aco.compile_time_s - base.compile_time_s) / base.compile_time_s
+    );
+
+    println!("\nexecution (modeled throughput, top benchmark improvements):");
+    let mut improvements: Vec<(usize, f64)> = aco
+        .benchmark_throughput
+        .iter()
+        .zip(&base.benchmark_throughput)
+        .enumerate()
+        .map(|(i, (&a, &b))| (i, 100.0 * (a - b) / b))
+        .collect();
+    improvements.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for &(i, imp) in improvements.iter().take(8) {
+        println!(
+            "  {:<12} {:7.2} -> {:7.2} GB/s  ({:+.1}%)",
+            suite.benchmarks[i].name,
+            base.benchmark_throughput[i],
+            aco.benchmark_throughput[i],
+            imp
+        );
+    }
+}

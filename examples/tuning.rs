@@ -1,0 +1,64 @@
+//! Sweeps the two design parameters the paper tunes experimentally:
+//! the fraction of wavefronts allowed to insert optional stalls (Table 6)
+//! and the pass-2 cycle-threshold filter (Table 7 flavor).
+//!
+//! ```sh
+//! cargo run --release --example tuning
+//! ```
+
+use gpu_aco::machine::OccupancyModel;
+use gpu_aco::scheduler::{AcoConfig, ParallelScheduler};
+
+fn main() {
+    let occ = OccupancyModel::vega_like();
+    let regions: Vec<_> = (0..6u64)
+        .map(|s| workloads::patterns::sized(120, 500 + s * 13))
+        .collect();
+    // The threshold sweep needs a size mix: small regions sit close to the
+    // length lower bound and are the ones a higher threshold filters out.
+    let mixed: Vec<_> = (0..10u64)
+        .map(|s| workloads::patterns::sized(30 + 14 * s as usize, 700 + s))
+        .collect();
+
+    println!("optional-stall wavefront fraction sweep (regions of ~120 instructions):");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "fraction", "GPU time (us)", "total length"
+    );
+    for &frac in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut time = 0.0;
+        let mut length = 0u64;
+        for (i, ddg) in regions.iter().enumerate() {
+            let mut cfg = AcoConfig::small(i as u64);
+            cfg.blocks = 16;
+            cfg.tuning.stall_wavefront_fraction = frac;
+            let out = ParallelScheduler::new(cfg).schedule(ddg, &occ);
+            time += out.gpu.total_us();
+            length += out.result.length as u64;
+        }
+        println!("{:>9.0}% {:>14.0} {:>14}", frac * 100.0, time, length);
+    }
+
+    println!("\npass-2 cycle-threshold sweep:");
+    println!(
+        "{:>10} {:>14} {:>16}",
+        "threshold", "GPU time (us)", "pass-2 regions"
+    );
+    for &gate in &[0u32, 5, 10, 15, 21, 25] {
+        let mut time = 0.0;
+        let mut processed = 0;
+        for (i, ddg) in mixed.iter().enumerate() {
+            let mut cfg = AcoConfig::small(i as u64);
+            cfg.blocks = 16;
+            cfg.pass2_gate_cycles = gate;
+            let out = ParallelScheduler::new(cfg).schedule(ddg, &occ);
+            time += out.gpu.total_us();
+            if out.result.pass2.iterations > 0 {
+                processed += 1;
+            }
+        }
+        println!("{:>10} {:>14.0} {:>16}", gate, time, processed);
+    }
+    println!("\nhigher stall fractions buy schedule length for scheduling time (Table 6);");
+    println!("higher thresholds skip low-benefit regions and cap compile time (Table 7).");
+}

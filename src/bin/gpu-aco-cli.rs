@@ -1,0 +1,249 @@
+//! Command-line front end: schedule a region from a text file with any of
+//! the workspace's schedulers.
+//!
+//! ```text
+//! gpu-aco-cli schedule <region.txt> [--scheduler amd|cp|luc|seq|par|host|exact]
+//!                      [--seed N] [--blocks N] [--unit-aprp] [--dot <out.dot>]
+//! gpu-aco-cli generate <pattern> <size> [--seed N]     # emit a region file
+//! gpu-aco-cli inspect <region.txt>                     # bounds and stats
+//! ```
+//!
+//! The region file format is documented in [`sched_ir::textir`]; `generate`
+//! produces it from the rocPRIM-shaped workload generators.
+
+use gpu_aco::heuristics::{Heuristic, ListScheduler};
+use gpu_aco::machine::OccupancyModel;
+use gpu_aco::scheduler::{
+    AcoConfig, HostParallelScheduler, ParallelScheduler, SequentialScheduler,
+};
+use sched_ir::{textir, Ddg, Schedule};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  gpu-aco-cli schedule <region.txt> [--scheduler amd|cp|luc|seq|par|host|exact]
+                       [--seed N] [--blocks N] [--unit-aprp] [--dot <out.dot>]
+  gpu-aco-cli generate <pattern> <size> [--seed N]
+      patterns: reduction scan transform vector stencil sort gather random mixed
+  gpu-aco-cli inspect <region.txt>";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("schedule") => schedule(&args[1..]),
+        Some("generate") => generate(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("missing command".into()),
+    }
+}
+
+/// Pulls `--flag value` out of an argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load_region(path: &str) -> Result<Ddg, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    textir::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn print_schedule(ddg: &Ddg, schedule: &Schedule) {
+    let order = schedule.order();
+    let mut next = 0;
+    print!("schedule:");
+    for id in order {
+        let c = schedule.cycle(id);
+        while next < c {
+            print!(" _");
+            next += 1;
+        }
+        print!(" {}", ddg.instr(id).name());
+        next = c + 1;
+    }
+    println!();
+}
+
+fn schedule(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("schedule needs a region file")?;
+    let ddg = load_region(path)?;
+    let occ = if args.iter().any(|a| a == "--unit-aprp") {
+        OccupancyModel::unit()
+    } else {
+        OccupancyModel::vega_like()
+    };
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--seed must be an integer")?
+        .unwrap_or(0);
+    let blocks: u32 = flag_value(args, "--blocks")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--blocks must be an integer")?
+        .unwrap_or(32);
+    let which = flag_value(args, "--scheduler").unwrap_or_else(|| "par".into());
+    let cfg = AcoConfig {
+        blocks,
+        ..AcoConfig::paper(seed)
+    };
+
+    let (name, sched, prp, extra) = match which.as_str() {
+        "amd" | "cp" | "luc" => {
+            let h = match which.as_str() {
+                "amd" => Heuristic::AmdMaxOccupancy,
+                "cp" => Heuristic::CriticalPath,
+                _ => Heuristic::LastUseCount,
+            };
+            let r = ListScheduler::new(h).schedule(&ddg, &occ);
+            (
+                format!("{h:?} list scheduler"),
+                r.schedule,
+                r.prp,
+                String::new(),
+            )
+        }
+        "seq" => {
+            let r = SequentialScheduler::new(cfg).schedule(&ddg, &occ);
+            let extra = format!(
+                ", modeled CPU time {:.1} us ({} + {} iterations)",
+                r.time_us, r.pass1.iterations, r.pass2.iterations
+            );
+            ("sequential ACO".into(), r.schedule, r.prp, extra)
+        }
+        "par" => {
+            let out = ParallelScheduler::new(cfg).schedule(&ddg, &occ);
+            let extra = format!(
+                ", modeled GPU time {:.1} us ({} + {} iterations)",
+                out.gpu.total_us(),
+                out.result.pass1.iterations,
+                out.result.pass2.iterations
+            );
+            (
+                "parallel ACO".into(),
+                out.result.schedule,
+                out.result.prp,
+                extra,
+            )
+        }
+        "host" => {
+            let r = HostParallelScheduler::new(cfg, 4).schedule(&ddg, &occ);
+            ("host-parallel ACO".into(), r.schedule, r.prp, String::new())
+        }
+        "exact" => {
+            if ddg.len() > exact_sched::MAX_EXACT_SIZE {
+                return Err(format!(
+                    "exact search supports at most {} instructions (region has {})",
+                    exact_sched::MAX_EXACT_SIZE,
+                    ddg.len()
+                ));
+            }
+            let r = exact_sched::two_pass_optimum(&ddg, &occ, &exact_sched::BnbConfig::default());
+            let extra = format!(
+                ", {} search nodes{}",
+                r.nodes,
+                if r.proven_optimal {
+                    ", proven optimal"
+                } else {
+                    " (limit hit)"
+                }
+            );
+            ("exact B&B".into(), r.schedule, r.prp, extra)
+        }
+        other => return Err(format!("unknown scheduler `{other}`")),
+    };
+
+    sched
+        .validate(&ddg)
+        .map_err(|e| format!("internal error: invalid schedule: {e}"))?;
+    println!(
+        "{name}: {} instructions in {} cycles ({} stalls), VGPR PRP {}, SGPR PRP {}, \
+         occupancy {}{extra}",
+        ddg.len(),
+        sched.length(),
+        sched.stalls(),
+        prp[0],
+        prp[1],
+        occ.occupancy(prp),
+    );
+    print_schedule(&ddg, &sched);
+    if let Some(out) = flag_value(args, "--dot") {
+        std::fs::write(&out, sched_ir::dot::to_dot_with_schedule(&ddg, &sched))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let pattern = args.first().ok_or("generate needs a pattern")?;
+    let size: usize = args
+        .get(1)
+        .ok_or("generate needs a size")?
+        .parse()
+        .map_err(|_| "size must be an integer")?;
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--seed must be an integer")?
+        .unwrap_or(0);
+    let ddg = match pattern.as_str() {
+        "reduction" => workloads::patterns::reduction(size.max(1), seed),
+        "scan" => workloads::patterns::scan(size.max(1), seed),
+        "transform" => workloads::patterns::transform_chain(size.max(1), 4, seed),
+        "vector" => workloads::patterns::vector_transform(size.max(1), 3, 4, seed),
+        "stencil" => workloads::patterns::stencil(size.max(1), 2, seed),
+        "sort" => workloads::patterns::sort_network(size.next_power_of_two().max(2), seed),
+        "gather" => workloads::patterns::gather_chain(size.max(1), 3, seed),
+        "random" => workloads::patterns::random_layered(size.max(1), 5, seed),
+        "mixed" => workloads::patterns::sized(size.max(2), seed),
+        other => return Err(format!("unknown pattern `{other}`")),
+    };
+    print!("{}", textir::to_text(&ddg));
+    Ok(())
+}
+
+fn inspect(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("inspect needs a region file")?;
+    let ddg = load_region(path)?;
+    let occ = OccupancyModel::vega_like();
+    let stats = ddg.reg_stats();
+    let tc = ddg.transitive_closure();
+    println!("instructions     : {}", ddg.len());
+    println!("edges            : {}", ddg.edge_count());
+    println!("critical path    : {} cycles", ddg.critical_path_length());
+    println!("length LB        : {} cycles", ddg.schedule_length_lb());
+    println!(
+        "ready-list UB    : {} (loose bound {})",
+        tc.ready_list_ub(),
+        ddg.len()
+    );
+    println!(
+        "RP lower bound   : VGPR {}, SGPR {}",
+        ddg.rp_lower_bound()[0],
+        ddg.rp_lower_bound()[1]
+    );
+    println!(
+        "live-in / out    : {:?} / {:?}",
+        stats.live_in, stats.live_out
+    );
+    let amd = ListScheduler::new(Heuristic::AmdMaxOccupancy).schedule(&ddg, &occ);
+    println!(
+        "AMD heuristic    : {} cycles, VGPR PRP {}, occupancy {}",
+        amd.length, amd.prp[0], amd.occupancy
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Optimality oracle: on regions small enough to enumerate, the exact B&B
+//! scheduler bounds every other scheduler in the workspace.
+
+use gpu_aco::exact::{min_length_schedule, min_rp_order, BnbConfig};
+use gpu_aco::heuristics::{Heuristic, ListScheduler};
+use gpu_aco::machine::OccupancyModel;
+use gpu_aco::pressure::prp_of_order;
+use gpu_aco::scheduler::{AcoConfig, ParallelScheduler};
+
+#[test]
+fn exact_rp_bounds_all_schedulers_on_small_regions() {
+    let occ = OccupancyModel::unit();
+    let cfg = BnbConfig::default();
+    for seed in 0..10u64 {
+        let ddg = workloads::patterns::sized(12, 2000 + seed);
+        let exact = min_rp_order(&ddg, &occ, &cfg);
+        if !exact.proven_optimal {
+            continue;
+        }
+        for h in Heuristic::ALL {
+            let order = ListScheduler::new(h).order(&ddg, &occ);
+            assert!(
+                occ.rp_cost(prp_of_order(&ddg, &order)) >= exact.rp_cost,
+                "seed {seed}: {h:?} beat the proven RP optimum"
+            );
+        }
+        let par = ParallelScheduler::new(AcoConfig {
+            blocks: 4,
+            ..AcoConfig::paper(seed)
+        })
+        .schedule(&ddg, &occ)
+        .result;
+        assert!(
+            occ.rp_cost(par.prp) >= exact.rp_cost,
+            "seed {seed}: parallel ACO beat the proven RP optimum"
+        );
+    }
+}
+
+#[test]
+fn exact_length_bounds_all_schedulers_unconstrained() {
+    let occ = OccupancyModel::vega_like();
+    let cfg = BnbConfig::default();
+    for seed in 0..8u64 {
+        let ddg = workloads::patterns::sized(11, 3000 + seed);
+        let exact =
+            min_length_schedule(&ddg, &occ, u64::MAX, &cfg).expect("unconstrained search succeeds");
+        if !exact.proven_optimal {
+            continue;
+        }
+        for h in Heuristic::ALL {
+            let r = ListScheduler::new(h).schedule(&ddg, &occ);
+            assert!(
+                r.length >= exact.length,
+                "seed {seed}: {h:?} schedule shorter than the proven optimum"
+            );
+        }
+        assert!(exact.length >= ddg.schedule_length_lb());
+    }
+}

@@ -1,0 +1,96 @@
+//! End-to-end pipeline integration: suite compilation under every
+//! scheduler kind, filter interactions, and the execution model.
+
+use gpu_aco::compile::{compile_region, compile_suite, PipelineConfig, SchedulerKind};
+use gpu_aco::machine::OccupancyModel;
+use workloads::{Suite, SuiteConfig};
+
+fn cfg(kind: SchedulerKind) -> PipelineConfig {
+    let mut c = PipelineConfig::paper(kind, 11);
+    c.aco.blocks = 4;
+    c
+}
+
+#[test]
+fn suite_compiles_under_every_scheduler_kind() {
+    let suite = Suite::generate(&SuiteConfig::scaled(11, 0.006));
+    let occ = OccupancyModel::vega_like();
+    let mut compile_times = Vec::new();
+    for kind in SchedulerKind::ALL {
+        let run = compile_suite(&suite, &occ, &cfg(kind));
+        assert_eq!(run.regions.len(), suite.region_count(), "{kind:?}");
+        assert_eq!(run.kernel_occupancy.len(), suite.kernels.len());
+        assert_eq!(run.benchmark_throughput.len(), suite.benchmarks.len());
+        assert!(run
+            .benchmark_throughput
+            .iter()
+            .all(|&t| t.is_finite() && t > 0.0));
+        compile_times.push((kind, run.compile_time_s));
+    }
+    // The ACO schedulers pay for their search; the base build is cheapest.
+    let base = compile_times[0].1;
+    for &(kind, t) in &compile_times[1..] {
+        assert!(t >= base * 0.99, "{kind:?} cheaper than base?");
+    }
+}
+
+#[test]
+fn kernel_occupancy_is_min_over_final_regions() {
+    let suite = Suite::generate(&SuiteConfig::scaled(13, 0.006));
+    let occ = OccupancyModel::vega_like();
+    let run = compile_suite(&suite, &occ, &cfg(SchedulerKind::ParallelAco));
+    for (k, _) in suite.kernels.iter().enumerate() {
+        let min_occ = run
+            .regions
+            .iter()
+            .filter(|r| r.kernel == k)
+            .map(|r| r.occupancy)
+            .min()
+            .expect("kernels have regions");
+        assert_eq!(run.kernel_occupancy[k], min_occ, "kernel {k}");
+    }
+}
+
+#[test]
+fn aco_never_lowers_final_kernel_occupancy() {
+    let suite = Suite::generate(&SuiteConfig::scaled(17, 0.006));
+    let occ = OccupancyModel::vega_like();
+    let base = compile_suite(&suite, &occ, &cfg(SchedulerKind::BaseAmd));
+    let aco = compile_suite(&suite, &occ, &cfg(SchedulerKind::ParallelAco));
+    for (k, (&a, &b)) in aco
+        .kernel_occupancy
+        .iter()
+        .zip(&base.kernel_occupancy)
+        .enumerate()
+    {
+        assert!(a >= b, "kernel {k}: ACO lowered occupancy {b} -> {a}");
+    }
+}
+
+#[test]
+fn region_filters_respect_paper_parameters() {
+    // A region where ACO trades a small occupancy gain for a giant length
+    // regression must be reverted by the (3, 63) filter.
+    let occ = OccupancyModel::vega_like();
+    let mut c = cfg(SchedulerKind::ParallelAco);
+    c.revert_occupancy_gain = 10; // every gain is "small"
+    c.revert_length_penalty = 0; // any length growth reverts
+    for seed in 0..6u64 {
+        let ddg = workloads::patterns::sized(100, 70 + seed);
+        let r = compile_region(&ddg, &occ, &c);
+        assert!(
+            r.length <= r.heuristic.length,
+            "seed {seed}: kept a longer schedule despite a zero-tolerance filter"
+        );
+    }
+}
+
+#[test]
+fn throughput_model_is_deterministic_across_runs() {
+    let suite = Suite::generate(&SuiteConfig::scaled(19, 0.006));
+    let occ = OccupancyModel::vega_like();
+    let a = compile_suite(&suite, &occ, &cfg(SchedulerKind::SequentialAco));
+    let b = compile_suite(&suite, &occ, &cfg(SchedulerKind::SequentialAco));
+    assert_eq!(a.benchmark_throughput, b.benchmark_throughput);
+    assert_eq!(a.compile_time_s, b.compile_time_s);
+}

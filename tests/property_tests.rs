@@ -1,0 +1,132 @@
+//! Property-based tests over randomly generated DDGs: the core invariants
+//! every component must uphold regardless of region shape.
+
+use gpu_aco::heuristics::{Heuristic, ListScheduler};
+use gpu_aco::ir::{Cycle, DdgBuilder, InstrId, Reg, Schedule};
+use gpu_aco::machine::OccupancyModel;
+use gpu_aco::pressure::{prp_of_order, PressureTracker, RegUniverse};
+use proptest::prelude::*;
+use sched_ir::Ddg;
+
+/// Strategy: a random SSA-form DAG of up to `max_n` instructions. Edges go
+/// from lower to higher indices (acyclic by construction); each instruction
+/// defines one register and uses the values of its predecessors.
+fn arb_ddg(max_n: usize) -> impl Strategy<Value = Ddg> {
+    (2..max_n).prop_flat_map(|n| {
+        let edge_bits = proptest::collection::vec(any::<u64>(), n);
+        let lats = proptest::collection::vec(1u16..24, n);
+        (Just(n), edge_bits, lats).prop_map(|(n, bits, lats)| {
+            let mut b = DdgBuilder::new();
+            let ids: Vec<InstrId> = (0..n)
+                .map(|i| {
+                    // Predecessors: up to 3 earlier nodes chosen from bits.
+                    let preds: Vec<usize> = (0..i)
+                        .filter(|j| (bits[i] >> (j % 48)) & 1 == 1)
+                        .take(3)
+                        .collect();
+                    b.instr(
+                        format!("i{i}"),
+                        [Reg::vgpr(i as u32)],
+                        preds.iter().map(|&p| Reg::vgpr(p as u32)),
+                    )
+                })
+                .collect();
+            for i in 0..n {
+                let preds: Vec<usize> = (0..i)
+                    .filter(|j| (bits[i] >> (j % 48)) & 1 == 1)
+                    .take(3)
+                    .collect();
+                for p in preds {
+                    b.edge(ids[p], ids[i], lats[i]).expect("valid edge");
+                }
+            }
+            b.build().expect("acyclic by construction")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The transitive-closure ready-list UB really bounds the ready list at
+    /// every step of any greedy construction.
+    #[test]
+    fn ready_list_never_exceeds_ub(ddg in arb_ddg(40)) {
+        let ub = ddg.transitive_closure().ready_list_ub();
+        let mut pending: Vec<usize> = ddg.ids().map(|i| ddg.preds(i).len()).collect();
+        let mut ready: Vec<InstrId> = ddg.roots().collect();
+        while let Some(id) = ready.pop() {
+            prop_assert!(ready.len() + 1 <= ub, "ready list {} > UB {ub}", ready.len() + 1);
+            for &(s, _) in ddg.succs(id) {
+                pending[s.index()] -= 1;
+                if pending[s.index()] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+    }
+
+    /// Every heuristic schedule validates and sits at or above the LB.
+    #[test]
+    fn heuristic_schedules_are_feasible(ddg in arb_ddg(36), h_idx in 0usize..3) {
+        let occ = OccupancyModel::vega_like();
+        let r = ListScheduler::new(Heuristic::ALL[h_idx]).schedule(&ddg, &occ);
+        prop_assert!(r.schedule.validate(&ddg).is_ok());
+        prop_assert!(r.length >= ddg.schedule_length_lb());
+        prop_assert!(r.length >= ddg.len() as Cycle);
+    }
+
+    /// PRP of an order is permutation-stable under recomputation and always
+    /// at least the region's RP lower bound.
+    #[test]
+    fn prp_respects_lower_bound(ddg in arb_ddg(36)) {
+        let occ = OccupancyModel::vega_like();
+        let order = ListScheduler::new(Heuristic::LastUseCount).order(&ddg, &occ);
+        let prp = prp_of_order(&ddg, &order);
+        let lb = ddg.rp_lower_bound();
+        for c in 0..2 {
+            prop_assert!(prp[c] as usize >= lb[c], "class {c}: PRP {} < LB {}", prp[c], lb[c]);
+        }
+    }
+
+    /// The incremental pressure tracker's current count returns to the
+    /// region's live-out count after a full issue sequence.
+    #[test]
+    fn tracker_drains_to_live_outs(ddg in arb_ddg(36)) {
+        let universe = RegUniverse::new(&ddg);
+        let mut t = PressureTracker::new(&universe);
+        for &id in ddg.topo_order() {
+            t.issue(id);
+        }
+        let stats = ddg.reg_stats();
+        for c in 0..2 {
+            prop_assert_eq!(t.current()[c] as usize, stats.live_out[c]);
+        }
+    }
+
+    /// `Schedule::from_order` over a topological order is always feasible,
+    /// and compacting its own order is idempotent on length.
+    #[test]
+    fn from_order_roundtrip(ddg in arb_ddg(36)) {
+        let order: Vec<InstrId> = ddg.topo_order().to_vec();
+        let s = Schedule::from_order(&ddg, &order);
+        prop_assert!(s.validate(&ddg).is_ok());
+        let again = Schedule::from_order(&ddg, &s.order());
+        prop_assert!(again.length() <= s.length());
+        prop_assert!(again.validate(&ddg).is_ok());
+    }
+
+    /// The earliest-start analysis lower-bounds every valid schedule.
+    #[test]
+    fn earliest_starts_bound_schedules(ddg in arb_ddg(30), h_idx in 0usize..3) {
+        let occ = OccupancyModel::vega_like();
+        let r = ListScheduler::new(Heuristic::ALL[h_idx]).schedule(&ddg, &occ);
+        let est = ddg.earliest_starts();
+        for id in ddg.ids() {
+            prop_assert!(
+                r.schedule.cycle(id) >= est[id.index()],
+                "{id} scheduled before its earliest start"
+            );
+        }
+    }
+}
