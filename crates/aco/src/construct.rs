@@ -640,7 +640,7 @@ mod tests {
             let r = ant.run(&ctx, &pher);
             assert_eq!(r.order.len(), 7);
             // Precedence check.
-            let mut pos = vec![0usize; 7];
+            let mut pos = [0usize; 7];
             for (i, id) in r.order.iter().enumerate() {
                 pos[id.index()] = i;
             }

@@ -51,4 +51,4 @@ pub use host_parallel::HostParallelScheduler;
 pub use parallel::{BatchOutcome, GpuStats, ParallelOutcome, ParallelScheduler};
 pub use pheromone::PheromoneTable;
 pub use result::{AcoResult, PassStats};
-pub use sequential::SequentialScheduler;
+pub use sequential::{pass2_target, SequentialScheduler};

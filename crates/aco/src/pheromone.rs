@@ -77,6 +77,35 @@ impl PheromoneTable {
     pub fn entries(&self) -> usize {
         self.tau.len()
     }
+
+    /// The initial pheromone level the table was created with.
+    pub fn initial(&self) -> f64 {
+        self.initial
+    }
+
+    /// Debug hook: checks the table's numeric invariants.
+    ///
+    /// Every entry must be finite and lie within
+    /// `[min(tau_min, initial), max(tau_max, initial)]` — evaporation clamps
+    /// at `tau_min`, deposits clamp at `tau_max`, and untouched entries stay
+    /// at the initial level. Returns the first violation as
+    /// `(row, column, value)`, where row `n` is the virtual start row.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err((row, col, value))` for the first NaN/infinite or
+    /// out-of-bounds entry.
+    pub fn check_invariants(&self, tau_min: f64, tau_max: f64) -> Result<(), (usize, usize, f64)> {
+        let lo = tau_min.min(self.initial);
+        let hi = tau_max.max(self.initial);
+        for (i, &t) in self.tau.iter().enumerate() {
+            let (row, col) = (i / self.n.max(1), i % self.n.max(1));
+            if !t.is_finite() || t < lo || t > hi {
+                return Err((row, col, t));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +153,23 @@ mod tests {
             t.deposit_order(&[InstrId(0), InstrId(1)], 1.0, 3.0);
         }
         assert_eq!(t.get(None, InstrId(0)), 3.0);
+    }
+
+    #[test]
+    fn invariant_hook_accepts_clamped_updates_and_rejects_corruption() {
+        let mut t = PheromoneTable::new(3, 1.0);
+        let order = [InstrId(0), InstrId(1), InstrId(2)];
+        for _ in 0..50 {
+            t.evaporate(0.7, 0.2);
+            t.deposit_order(&order, 0.9, 4.0);
+        }
+        t.check_invariants(0.2, 4.0).unwrap();
+        // Corrupt the deposited links past tau_max; the hook pinpoints the
+        // first violating entry in scan order — the link 0 -> 1.
+        t.deposit_order(&order, 100.0, 200.0);
+        let err = t.check_invariants(0.2, 4.0).unwrap_err();
+        assert_eq!((err.0, err.1), (0, 1));
+        assert!(err.2 > 4.0);
     }
 
     #[test]

@@ -19,7 +19,11 @@ const OPS_PER_PHEROMONE_ENTRY: u64 = 1;
 
 /// Pass-2 target cost, relaxed to the configured kernel occupancy cap:
 /// pressure below the cap's APRP band buys nothing kernel-wide.
-pub(crate) fn pass2_target(cfg: &AcoConfig, occ: &OccupancyModel, pass1_cost: u64) -> u64 {
+///
+/// Public so an external verifier can recompute the two-pass invariant
+/// (final pressure cost ≤ this target) without reaching into scheduler
+/// internals.
+pub fn pass2_target(cfg: &AcoConfig, occ: &OccupancyModel, pass1_cost: u64) -> u64 {
     match cfg.occupancy_cap {
         None => pass1_cost,
         Some(cap) => {
@@ -340,12 +344,16 @@ mod cap_tests {
         let tight = occ.rp_cost([20, 0]);
         assert_eq!(pass2_target(&cfg, &occ, tight), tight);
         // ...and relaxes to the cap's band maximum when one is.
-        let capped_cfg = AcoConfig { occupancy_cap: Some(5), ..cfg };
+        let capped_cfg = AcoConfig {
+            occupancy_cap: Some(5),
+            ..cfg
+        };
         let relaxed = pass2_target(&capped_cfg, &occ, tight);
         assert!(relaxed > tight);
         assert_eq!(
             occ.occupancy([
-                occ.max_prp_for_occupancy(sched_ir::RegClass::Vgpr, 5).unwrap(),
+                occ.max_prp_for_occupancy(sched_ir::RegClass::Vgpr, 5)
+                    .unwrap(),
                 0
             ]),
             5
@@ -356,7 +364,10 @@ mod cap_tests {
     fn cap_never_tightens_the_target() {
         let occ = OccupancyModel::vega_like();
         // A pass-1 cost already looser than the cap band is kept.
-        let cfg = AcoConfig { occupancy_cap: Some(9), ..AcoConfig::small(0) };
+        let cfg = AcoConfig {
+            occupancy_cap: Some(9),
+            ..AcoConfig::small(0)
+        };
         let loose = occ.rp_cost([200, 0]); // occupancy 1 band
         assert_eq!(pass2_target(&cfg, &occ, loose), loose);
     }
@@ -368,12 +379,18 @@ mod cap_tests {
         let occ = OccupancyModel::vega_like();
         for seed in 0..8u64 {
             let ddg = workloads::patterns::sized(120, 40 + seed);
-            let cfg = AcoConfig { blocks: 8, ..AcoConfig::paper(seed) };
+            let cfg = AcoConfig {
+                blocks: 8,
+                ..AcoConfig::paper(seed)
+            };
             let free = SequentialScheduler::new(cfg).schedule(&ddg, &occ);
             if free.occupancy <= free.initial.occupancy || free.length <= free.initial.length {
                 continue; // no occupancy-for-length trade on this region
             }
-            let capped_cfg = AcoConfig { occupancy_cap: Some(free.initial.occupancy), ..cfg };
+            let capped_cfg = AcoConfig {
+                occupancy_cap: Some(free.initial.occupancy),
+                ..cfg
+            };
             let capped = SequentialScheduler::new(capped_cfg).schedule(&ddg, &occ);
             capped.schedule.validate(&ddg).unwrap();
             assert!(

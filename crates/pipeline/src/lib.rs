@@ -24,4 +24,4 @@ pub mod suite_run;
 pub use config::{PipelineConfig, SchedulerKind};
 pub use exec_model::{benchmark_throughput, kernel_time_us, ExecModel};
 pub use region::{compile_region, FinalChoice, RegionCompilation};
-pub use suite_run::{compile_suite, RegionRecord, SuiteRun};
+pub use suite_run::{compile_suite, compile_suite_observed, RegionRecord, SuiteRun};

@@ -4,10 +4,10 @@ use crate::config::PipelineConfig;
 use crate::exec_model::{
     benchmark_throughput, kernel_time_us, schedule_fingerprint, unmodeled_factor, ExecModel,
 };
-use crate::region::{compile_region, FinalChoice};
+use crate::region::{compile_region, FinalChoice, RegionCompilation};
 use crate::SchedulerKind;
 use machine_model::OccupancyModel;
-use sched_ir::Cycle;
+use sched_ir::{Cycle, Ddg};
 use workloads::Suite;
 
 /// Per-region record of a suite compilation.
@@ -98,6 +98,28 @@ impl SuiteRun {
 /// Compiles every region of the suite and models kernel/benchmark
 /// performance and total compile time.
 pub fn compile_suite(suite: &Suite, occ: &OccupancyModel, cfg: &PipelineConfig) -> SuiteRun {
+    compile_suite_observed(suite, occ, cfg, |_, _, _, _, _| {})
+}
+
+/// [`compile_suite`] with an observer invoked on every region compilation
+/// (including the occupancy-capped re-schedules of the kernel post filter),
+/// before the kernel-level filter mutates the outcome.
+///
+/// The observer receives `(kernel, region, ddg, config, compilation)`,
+/// where `config` is the pipeline configuration that compilation actually
+/// ran under (the post-filter re-schedules set `aco.occupancy_cap`). This
+/// is the verification hook: `sched-verify` certifies every schedule the
+/// pipeline produces through it without the pipeline depending on the
+/// verifier.
+pub fn compile_suite_observed<F>(
+    suite: &Suite,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+    mut observe: F,
+) -> SuiteRun
+where
+    F: FnMut(usize, usize, &Ddg, &PipelineConfig, &RegionCompilation),
+{
     let exec = ExecModel {
         max_occupancy: occ.max_waves(),
     };
@@ -109,9 +131,11 @@ pub fn compile_suite(suite: &Suite, occ: &OccupancyModel, cfg: &PipelineConfig) 
         let mut compiled: Vec<_> = kernel
             .regions
             .iter()
-            .map(|ddg| {
+            .enumerate()
+            .map(|(ri, ddg)| {
                 let c = compile_region(ddg, occ, cfg);
                 compile_us += cfg.base_cost_us(ddg.len()) + c.sched_time_us;
+                observe(k, ri, ddg, cfg, &c);
                 c
             })
             .collect();
@@ -125,7 +149,7 @@ pub fn compile_suite(suite: &Suite, occ: &OccupancyModel, cfg: &PipelineConfig) 
         //  2. otherwise re-schedule the region with pass 2's pressure
         //     constraint relaxed to the kernel minimum's APRP band.
         let kmin = compiled.iter().map(|c| c.occupancy).min().unwrap_or(0);
-        for (c, ddg) in compiled.iter_mut().zip(&kernel.regions) {
+        for (ri, (c, ddg)) in compiled.iter_mut().zip(&kernel.regions).enumerate() {
             if c.choice != FinalChoice::Aco || c.occupancy <= kmin || c.length <= c.heuristic.length
             {
                 continue;
@@ -140,6 +164,7 @@ pub fn compile_suite(suite: &Suite, occ: &OccupancyModel, cfg: &PipelineConfig) 
             let mut capped_cfg = *cfg;
             capped_cfg.aco.occupancy_cap = Some(kmin);
             let capped = compile_region(ddg, occ, &capped_cfg);
+            observe(k, ri, ddg, &capped_cfg, &capped);
             compile_us += capped.sched_time_us;
             c.sched_time_us += capped.sched_time_us;
             if let Some(a) = &capped.aco {

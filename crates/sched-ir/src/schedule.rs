@@ -1,8 +1,9 @@
 //! Schedules: assignments of issue cycles to instructions.
 
 use crate::ddg::Ddg;
-use crate::instr::InstrId;
+use crate::instr::{InstrId, Reg};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -14,6 +15,15 @@ pub type Cycle = u32;
 pub enum ScheduleError {
     /// The schedule covers a different number of instructions than the DDG.
     WrongLength { expected: usize, actual: usize },
+    /// A register is used at or before the cycle its value is defined.
+    ///
+    /// Caught directly from the instructions' def/use sets, so it fires
+    /// even when the corresponding DDG edge was never materialized.
+    DependenceViolation {
+        def: InstrId,
+        user: InstrId,
+        reg: Reg,
+    },
     /// A latency constraint `from -> to` is violated.
     LatencyViolation {
         from: InstrId,
@@ -35,6 +45,11 @@ impl fmt::Display for ScheduleError {
             ScheduleError::WrongLength { expected, actual } => {
                 write!(f, "schedule has {actual} instructions, DDG has {expected}")
             }
+            ScheduleError::DependenceViolation { def, user, reg } => write!(
+                f,
+                "dependence violation: {user} reads {reg} at or before its \
+                 definition by {def}"
+            ),
             ScheduleError::LatencyViolation {
                 from,
                 to,
@@ -145,14 +160,37 @@ impl Schedule {
     ///
     /// # Errors
     ///
-    /// Returns the first violated constraint: length mismatch, a latency
-    /// violation, or two instructions issued in the same cycle.
+    /// Returns the first violated constraint: length mismatch, a def/use
+    /// ordering violation, a latency violation, or two instructions issued
+    /// in the same cycle.
     pub fn validate(&self, ddg: &Ddg) -> Result<(), ScheduleError> {
         if self.cycles.len() != ddg.len() {
             return Err(ScheduleError::WrongLength {
                 expected: ddg.len(),
                 actual: self.cycles.len(),
             });
+        }
+        // Def/use ordering from the instructions themselves: every in-region
+        // use must issue strictly after its (SSA) definition, whether or not
+        // an edge carries that dependence.
+        let mut def_of: HashMap<Reg, InstrId> = HashMap::new();
+        for id in ddg.ids() {
+            for &r in ddg.instr(id).defs() {
+                def_of.entry(r).or_insert(id);
+            }
+        }
+        for id in ddg.ids() {
+            for &r in ddg.instr(id).uses() {
+                if let Some(&def) = def_of.get(&r) {
+                    if def != id && self.cycle(id) <= self.cycle(def) {
+                        return Err(ScheduleError::DependenceViolation {
+                            def,
+                            user: id,
+                            reg: r,
+                        });
+                    }
+                }
+            }
         }
         for id in ddg.ids() {
             for &(succ, lat) in ddg.succs(id) {
@@ -260,6 +298,27 @@ mod tests {
             s.validate(&g),
             Err(ScheduleError::IssueConflict { cycle: 1, .. })
         ));
+    }
+
+    #[test]
+    fn validate_rejects_def_use_inversion_without_edge() {
+        use crate::instr::Reg;
+        // `b` reads v0, defined by `a`, but no edge records the dependence.
+        let mut b = DdgBuilder::new();
+        b.instr("a", [Reg::vgpr(0)], []);
+        b.instr("b", [], [Reg::vgpr(0)]);
+        let g = b.build().unwrap();
+        let s = Schedule::from_cycles(vec![1, 0]);
+        assert_eq!(
+            s.validate(&g),
+            Err(ScheduleError::DependenceViolation {
+                def: InstrId(0),
+                user: InstrId(1),
+                reg: Reg::vgpr(0),
+            })
+        );
+        // The correct ordering passes.
+        Schedule::from_cycles(vec![0, 1]).validate(&g).unwrap();
     }
 
     #[test]

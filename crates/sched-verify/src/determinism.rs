@@ -1,0 +1,131 @@
+//! Determinism checks for the parallel schedulers.
+//!
+//! The host-parallel scheduler's whole argument rests on the claim that
+//! splitting the colony across threads changes *nothing* about the result
+//! — ants are independent within an iteration and the winner reduction is
+//! associative over a deterministic total order. This module tests that
+//! claim directly: the same region scheduled at several thread counts (and
+//! the simulated-GPU scheduler run repeatedly) must produce bitwise
+//! identical results.
+
+use crate::diag::{codes, Diagnostic, Span};
+use aco::{AcoConfig, AcoResult, HostParallelScheduler, ParallelScheduler};
+use machine_model::OccupancyModel;
+use sched_ir::{Ddg, REG_CLASS_COUNT};
+
+/// The parts of an [`AcoResult`] that must be reproducible. Timing and op
+/// counts are cost-model outputs and may legitimately differ with the
+/// thread count; everything the *search* decides may not.
+fn fingerprint(r: &AcoResult) -> (Vec<u32>, Vec<u32>, [u32; REG_CLASS_COUNT], u32, u32) {
+    (
+        r.schedule.cycles().to_vec(),
+        r.order.iter().map(|id| id.0).collect(),
+        r.prp,
+        r.occupancy,
+        r.length,
+    )
+}
+
+fn describe(r: &AcoResult) -> String {
+    format!(
+        "prp {:?}, occupancy {}, length {}, order {:?}",
+        r.prp,
+        r.occupancy,
+        r.length,
+        &r.order[..r.order.len().min(8)]
+    )
+}
+
+/// Schedules `ddg` with [`HostParallelScheduler`] at every thread count in
+/// `threads` and reports a `D001` error for each count whose result
+/// deviates from the first.
+pub fn check_host_determinism(
+    ddg: &Ddg,
+    occ: &OccupancyModel,
+    cfg: &AcoConfig,
+    threads: &[usize],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let Some((&first, rest)) = threads.split_first() else {
+        return diags;
+    };
+    let reference = HostParallelScheduler::new(*cfg, first).schedule(ddg, occ);
+    let ref_fp = fingerprint(&reference);
+    for &t in rest {
+        let r = HostParallelScheduler::new(*cfg, t).schedule(ddg, occ);
+        if fingerprint(&r) != ref_fp {
+            diags.push(Diagnostic::error(
+                codes::THREAD_NONDETERMINISM,
+                Span::Region,
+                format!(
+                    "host-parallel result differs between {first} and {t} \
+                     threads: [{}] vs [{}]",
+                    describe(&reference),
+                    describe(&r)
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+/// Runs the simulated-GPU [`ParallelScheduler`] `runs` times with one
+/// configuration and reports a `D002` error for each run that deviates
+/// from the first.
+pub fn check_parallel_repeatability(
+    ddg: &Ddg,
+    occ: &OccupancyModel,
+    cfg: &AcoConfig,
+    runs: usize,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if runs < 2 {
+        return diags;
+    }
+    let reference = ParallelScheduler::new(*cfg).schedule(ddg, occ).result;
+    let ref_fp = fingerprint(&reference);
+    for run in 1..runs {
+        let r = ParallelScheduler::new(*cfg).schedule(ddg, occ).result;
+        if fingerprint(&r) != ref_fp {
+            diags.push(Diagnostic::error(
+                codes::RUN_NONDETERMINISM,
+                Span::Region,
+                format!(
+                    "simulated-GPU run {run} differs from run 0 with an \
+                     identical configuration: [{}] vs [{}]",
+                    describe(&reference),
+                    describe(&r)
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_ir::figure1;
+
+    fn small_cfg() -> AcoConfig {
+        let mut c = AcoConfig::small(3);
+        c.blocks = 8;
+        c
+    }
+
+    #[test]
+    fn figure1_is_thread_count_invariant() {
+        let ddg = figure1::ddg();
+        let occ = OccupancyModel::vega_like();
+        let diags = check_host_determinism(&ddg, &occ, &small_cfg(), &[1, 2, 4]);
+        assert!(diags.is_empty(), "{}", crate::diag::render(&diags));
+    }
+
+    #[test]
+    fn figure1_is_run_repeatable() {
+        let ddg = figure1::ddg();
+        let occ = OccupancyModel::vega_like();
+        let diags = check_parallel_repeatability(&ddg, &occ, &small_cfg(), 3);
+        assert!(diags.is_empty(), "{}", crate::diag::render(&diags));
+    }
+}

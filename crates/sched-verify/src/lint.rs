@@ -1,0 +1,421 @@
+//! Lints over DDGs, scheduler configurations, and pheromone tables.
+//!
+//! Unlike the certificate checker, lints look for *suspicious inputs*
+//! rather than wrong outputs: edges that carry no information, graphs that
+//! violate the SSA assumptions the pressure model rests on, and
+//! configurations that would send the ACO search into degenerate behavior
+//! (empty pheromone bands, NaN-producing decay, zero colonies).
+
+use crate::diag::{codes, Diagnostic, Span};
+use aco::{AcoConfig, PheromoneTable};
+use sched_ir::{Cycle, Ddg, InstrId, Reg};
+use std::collections::HashMap;
+
+/// Lints a dependence graph. Structural errors (duplicate defs, cycles)
+/// are `error` severity; isolated nodes are notes.
+///
+/// Redundant transitive edges (`L001`) are *not* reported here: DDGs built
+/// from def-use chains routinely carry edges a longer path already
+/// implies, and that is normal, not suspicious. Use [`lint_ddg_pedantic`]
+/// to include them.
+pub fn lint_ddg(ddg: &Ddg) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // L002 — duplicate definitions break the SSA assumption every pressure
+    // computation in the stack relies on.
+    let mut def_of: HashMap<Reg, InstrId> = HashMap::new();
+    for id in ddg.ids() {
+        for &r in ddg.instr(id).defs() {
+            if let Some(&first) = def_of.get(&r) {
+                diags.push(Diagnostic::error(
+                    codes::DUPLICATE_DEF,
+                    Span::Reg(r),
+                    format!("{r} is defined by both {first} and {id} (SSA violation)"),
+                ));
+            } else {
+                def_of.insert(r, id);
+            }
+        }
+    }
+
+    // L003 — a node with no edges, no defs, and no uses constrains nothing
+    // and computes nothing; almost certainly a generator bug.
+    for id in ddg.ids() {
+        let instr = ddg.instr(id);
+        if ddg.succs(id).is_empty()
+            && ddg.preds(id).is_empty()
+            && instr.defs().is_empty()
+            && instr.uses().is_empty()
+        {
+            diags.push(Diagnostic::note(
+                codes::ISOLATED_NODE,
+                Span::Instr(id),
+                format!("{id} has no dependences, defines nothing, and uses nothing"),
+            ));
+        }
+    }
+
+    // L004 — cycle detection. `Ddg` construction already topo-sorts, so
+    // this is a defensive re-check (e.g. against hand-built cycle lists);
+    // everything after it assumes acyclicity.
+    if let Some(id) = find_cycle_member(ddg) {
+        diags.push(Diagnostic::error(
+            codes::GRAPH_CYCLE,
+            Span::Instr(id),
+            format!("{id} sits on a dependence cycle; the region is unschedulable"),
+        ));
+        return diags;
+    }
+
+    diags
+}
+
+/// [`lint_ddg`] plus the pedantic redundant-edge lint (`L001`).
+pub fn lint_ddg_pedantic(ddg: &Ddg) -> Vec<Diagnostic> {
+    let mut diags = lint_ddg(ddg);
+    if diags.iter().any(|d| d.code == codes::GRAPH_CYCLE) {
+        return diags;
+    }
+    // L001 — latency-aware transitive redundancy: an edge a -> b is
+    // redundant when some other path a -> ... -> b already enforces at
+    // least the same latency, because the long path forces b at least as
+    // late as the edge would.
+    let longest = longest_paths(ddg);
+    for a in ddg.ids() {
+        for &(b, lat) in ddg.succs(a) {
+            // Longest a ~> b path through some intermediate successor.
+            let via_path = ddg
+                .succs(a)
+                .iter()
+                .filter(|&&(s, _)| s != b)
+                .filter_map(|&(s, slat)| longest[s.index()][b.index()].map(|d| slat as Cycle + d))
+                .max();
+            if let Some(d) = via_path {
+                if d >= lat as Cycle {
+                    diags.push(Diagnostic::warning(
+                        codes::REDUNDANT_EDGE,
+                        Span::Edge { from: a, to: b },
+                        format!(
+                            "edge {a} -> {b} (latency {lat}) is implied by a \
+                             transitive path of latency {d}"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// All-pairs longest path lengths (`None` = unreachable), reverse-topo DP.
+fn longest_paths(ddg: &Ddg) -> Vec<Vec<Option<Cycle>>> {
+    let n = ddg.len();
+    let mut dist = vec![vec![None; n]; n];
+    for &id in ddg.topo_order().iter().rev() {
+        let i = id.index();
+        for &(succ, lat) in ddg.succs(id) {
+            let s = succ.index();
+            let step = lat as Cycle;
+            let cur = dist[i][s];
+            dist[i][s] = Some(cur.map_or(step, |c: Cycle| c.max(step)));
+            let row_s = dist[s].clone();
+            for (t, d) in row_s.iter().enumerate() {
+                if let Some(d) = d {
+                    let through = step + d;
+                    let cur = dist[i][t];
+                    dist[i][t] = Some(cur.map_or(through, |c| c.max(through)));
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Returns a member of a dependence cycle, if any (iterative DFS with
+/// colors so deep graphs cannot blow the stack).
+fn find_cycle_member(ddg: &Ddg) -> Option<InstrId> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; ddg.len()];
+    for root in ddg.ids() {
+        if color[root.index()] != WHITE {
+            continue;
+        }
+        let mut stack = vec![(root, 0usize)];
+        color[root.index()] = GRAY;
+        while let Some(&mut (id, ref mut next)) = stack.last_mut() {
+            if let Some(&(succ, _)) = ddg.succs(id).get(*next) {
+                *next += 1;
+                match color[succ.index()] {
+                    WHITE => {
+                        color[succ.index()] = GRAY;
+                        stack.push((succ, 0));
+                    }
+                    GRAY => return Some(succ),
+                    _ => {}
+                }
+            } else {
+                color[id.index()] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Lints an ACO configuration for degenerate parameter settings.
+pub fn lint_config(cfg: &AcoConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let field = Span::ConfigField;
+
+    // A001 — an inverted or empty pheromone band pins every entry.
+    if cfg.tau_min >= cfg.tau_max {
+        diags.push(Diagnostic::error(
+            codes::TAU_BOUNDS,
+            field("tau_min"),
+            format!(
+                "tau_min {} >= tau_max {}: the pheromone band is empty and the \
+                 search cannot differentiate links",
+                cfg.tau_min, cfg.tau_max
+            ),
+        ));
+    }
+
+    // A002 — a zero colony never constructs a schedule.
+    if cfg.sequential_ants == 0 {
+        diags.push(Diagnostic::error(
+            codes::ZERO_ANTS,
+            field("sequential_ants"),
+            "sequential colony has zero ants",
+        ));
+    }
+    if cfg.blocks == 0 || cfg.threads_per_block == 0 {
+        diags.push(Diagnostic::error(
+            codes::ZERO_ANTS,
+            field("blocks"),
+            format!(
+                "parallel colony is empty ({} blocks x {} threads)",
+                cfg.blocks, cfg.threads_per_block
+            ),
+        ));
+    }
+
+    // A003 — decay outside (0, 1] either freezes the table or explodes it;
+    // non-finite decay poisons every entry with NaN on the first update.
+    if !cfg.decay.is_finite() || cfg.decay <= 0.0 || cfg.decay > 1.0 {
+        diags.push(Diagnostic::error(
+            codes::BAD_DECAY,
+            field("decay"),
+            format!(
+                "decay {} is outside (0, 1]; evaporation would corrupt the table",
+                cfg.decay
+            ),
+        ));
+    }
+
+    // A004 — q0 is a probability.
+    if !cfg.q0.is_finite() || !(0.0..=1.0).contains(&cfg.q0) {
+        diags.push(Diagnostic::error(
+            codes::BAD_Q0,
+            field("q0"),
+            format!("exploitation probability q0 {} is outside [0, 1]", cfg.q0),
+        ));
+    }
+
+    // A005 — the remaining pheromone parameters must be finite and
+    // non-negative or selection weights become NaN.
+    for (name, value) in [
+        ("beta", cfg.beta),
+        ("initial_pheromone", cfg.initial_pheromone),
+        ("deposit", cfg.deposit),
+        ("tau_min", cfg.tau_min),
+        ("tau_max", cfg.tau_max),
+    ] {
+        if !value.is_finite() || value < 0.0 {
+            diags.push(Diagnostic::error(
+                codes::BAD_PHEROMONE_PARAM,
+                field(name),
+                format!("{name} = {value} must be finite and non-negative"),
+            ));
+        }
+    }
+
+    // A006 — a zero iteration cap means no pass ever runs.
+    if cfg.termination.max_iterations == 0 {
+        diags.push(Diagnostic::error(
+            codes::ZERO_ITERATIONS,
+            field("termination.max_iterations"),
+            "max_iterations is 0: neither pass can execute an iteration",
+        ));
+    }
+
+    // A007 — stall knobs are fractions of [0, 1].
+    for (name, value) in [
+        (
+            "tuning.stall_wavefront_fraction",
+            cfg.tuning.stall_wavefront_fraction,
+        ),
+        ("optional_stall_budget", cfg.optional_stall_budget),
+    ] {
+        if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+            diags.push(Diagnostic::error(
+                codes::BAD_STALL_FRACTION,
+                field(name),
+                format!("{name} = {value} is outside [0, 1]"),
+            ));
+        }
+    }
+    diags
+}
+
+/// Checks a pheromone table's numeric invariants against the
+/// configuration's clamp band via the table's debug hook.
+pub fn lint_pheromone(table: &PheromoneTable, cfg: &AcoConfig) -> Vec<Diagnostic> {
+    match table.check_invariants(cfg.tau_min, cfg.tau_max) {
+        Ok(()) => Vec::new(),
+        Err((row, col, value)) => {
+            let span = Span::PheromoneEntry { row, col };
+            if value.is_finite() {
+                vec![Diagnostic::error(
+                    codes::PHEROMONE_OUT_OF_BOUNDS,
+                    span,
+                    format!(
+                        "entry ({row}, {col}) = {value} escaped the clamp band \
+                         [{}, {}]",
+                        cfg.tau_min.min(table.initial()),
+                        cfg.tau_max.max(table.initial())
+                    ),
+                )]
+            } else {
+                vec![Diagnostic::error(
+                    codes::PHEROMONE_NONFINITE,
+                    span,
+                    format!("entry ({row}, {col}) = {value} is not finite"),
+                )]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::has_errors;
+    use sched_ir::{figure1, DdgBuilder};
+
+    #[test]
+    fn figure1_lints_clean() {
+        let diags = lint_ddg_pedantic(&figure1::ddg());
+        assert!(diags.is_empty(), "{}", crate::diag::render(&diags));
+    }
+
+    #[test]
+    fn redundant_transitive_edge_is_flagged() {
+        // a -> b -> c with latency 2+2, plus a direct a -> c of latency 3:
+        // the path already forces c four cycles after a.
+        let mut b = DdgBuilder::new();
+        let a = b.instr("a", [sched_ir::Reg::vgpr(0)], []);
+        let m = b.instr("b", [sched_ir::Reg::vgpr(1)], []);
+        let c = b.instr("c", [], []);
+        b.edge(a, m, 2).unwrap();
+        b.edge(m, c, 2).unwrap();
+        b.edge(a, c, 3).unwrap();
+        let ddg = b.build().unwrap();
+        let diags = lint_ddg_pedantic(&ddg);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == codes::REDUNDANT_EDGE && d.span == Span::Edge { from: a, to: c }));
+        assert!(
+            !lint_ddg(&ddg)
+                .iter()
+                .any(|d| d.code == codes::REDUNDANT_EDGE),
+            "default lint excludes L001"
+        );
+    }
+
+    #[test]
+    fn necessary_long_latency_edge_is_not_flagged() {
+        // Direct edge longer than the transitive path: it adds information.
+        let mut b = DdgBuilder::new();
+        let a = b.instr("a", [sched_ir::Reg::vgpr(0)], []);
+        let m = b.instr("b", [sched_ir::Reg::vgpr(1)], []);
+        let c = b.instr("c", [], []);
+        b.edge(a, m, 1).unwrap();
+        b.edge(m, c, 1).unwrap();
+        b.edge(a, c, 5).unwrap();
+        let ddg = b.build().unwrap();
+        assert!(!lint_ddg_pedantic(&ddg)
+            .iter()
+            .any(|d| d.code == codes::REDUNDANT_EDGE));
+    }
+
+    #[test]
+    fn duplicate_def_is_an_error() {
+        let mut b = DdgBuilder::new();
+        let r = sched_ir::Reg::vgpr(0);
+        b.instr("a", [r], []);
+        b.instr("b", [r], []);
+        let ddg = b.build().unwrap();
+        let diags = lint_ddg(&ddg);
+        assert!(diags.iter().any(|d| d.code == codes::DUPLICATE_DEF));
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn isolated_node_is_a_note() {
+        let mut b = DdgBuilder::new();
+        b.instr("nop", [], []);
+        b.instr("real", [sched_ir::Reg::vgpr(0)], []);
+        let ddg = b.build().unwrap();
+        let diags = lint_ddg(&ddg);
+        assert!(diags.iter().any(|d| d.code == codes::ISOLATED_NODE));
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn paper_config_lints_clean() {
+        assert!(lint_config(&AcoConfig::paper(0)).is_empty());
+        assert!(lint_config(&AcoConfig::small(7)).is_empty());
+    }
+
+    #[test]
+    fn degenerate_configs_are_flagged() {
+        let mut c = AcoConfig::small(0);
+        c.tau_min = 9.0; // above tau_max 8.0
+        assert!(lint_config(&c).iter().any(|d| d.code == codes::TAU_BOUNDS));
+
+        let mut c = AcoConfig::small(0);
+        c.blocks = 0;
+        assert!(lint_config(&c).iter().any(|d| d.code == codes::ZERO_ANTS));
+
+        let mut c = AcoConfig::small(0);
+        c.decay = f64::NAN;
+        assert!(lint_config(&c).iter().any(|d| d.code == codes::BAD_DECAY));
+
+        let mut c = AcoConfig::small(0);
+        c.q0 = 1.5;
+        assert!(lint_config(&c).iter().any(|d| d.code == codes::BAD_Q0));
+
+        let mut c = AcoConfig::small(0);
+        c.termination.max_iterations = 0;
+        assert!(lint_config(&c)
+            .iter()
+            .any(|d| d.code == codes::ZERO_ITERATIONS));
+    }
+
+    #[test]
+    fn pheromone_lint_reports_corruption() {
+        let cfg = AcoConfig::small(0);
+        let mut t = PheromoneTable::new(3, cfg.initial_pheromone);
+        assert!(lint_pheromone(&t, &cfg).is_empty());
+        t.deposit_order(
+            &[sched_ir::InstrId(0), sched_ir::InstrId(1)],
+            1e9,
+            1e12, // bogus clamp lets the entry escape the configured band
+        );
+        let diags = lint_pheromone(&t, &cfg);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::PHEROMONE_OUT_OF_BOUNDS);
+    }
+}

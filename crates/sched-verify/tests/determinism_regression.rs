@@ -1,0 +1,94 @@
+//! Determinism regression: the host-parallel scheduler must return
+//! identical results no matter how many threads split the colony.
+//!
+//! Covers the Figure-1 region and three generated workloads at 1, 2, and
+//! 8 threads. This is the regression guard for the independent-ants
+//! parallelization argument — any thread-count-dependent reduction order
+//! or RNG stream split shows up here as a `D001` diagnostic.
+
+use aco::{AcoConfig, HostParallelScheduler};
+use machine_model::OccupancyModel;
+use sched_ir::{figure1, Ddg};
+use sched_verify::{check_host_determinism, check_parallel_repeatability, render};
+
+const THREADS: &[usize] = &[1, 2, 8];
+
+fn cfg(seed: u64) -> AcoConfig {
+    let mut c = AcoConfig::small(seed);
+    c.blocks = 8;
+    c.pass2_gate_cycles = 1;
+    c
+}
+
+fn workload_regions() -> Vec<(&'static str, Ddg)> {
+    vec![
+        ("figure1", figure1::ddg()),
+        ("sized-40", workloads::patterns::sized(40, 7)),
+        ("sized-80", workloads::patterns::sized(80, 11)),
+        ("sized-120", workloads::patterns::sized(120, 13)),
+    ]
+}
+
+#[test]
+fn host_parallel_is_thread_count_invariant() {
+    let occ = OccupancyModel::vega_like();
+    for (name, ddg) in workload_regions() {
+        let diags = check_host_determinism(&ddg, &occ, &cfg(3), THREADS);
+        assert!(diags.is_empty(), "{name}:\n{}", render(&diags));
+    }
+}
+
+#[test]
+fn host_parallel_pass_stats_are_thread_count_invariant() {
+    // Beyond the schedule itself, the search trajectory (iteration counts,
+    // improvement flags) must not depend on the thread count either.
+    let occ = OccupancyModel::vega_like();
+    for (name, ddg) in workload_regions() {
+        let results: Vec<_> = THREADS
+            .iter()
+            .map(|&t| HostParallelScheduler::new(cfg(3), t).schedule(&ddg, &occ))
+            .collect();
+        for (r, &t) in results.iter().zip(THREADS).skip(1) {
+            let a = &results[0];
+            assert_eq!(
+                (
+                    r.pass1.iterations,
+                    r.pass1.improved,
+                    r.pass1.hit_lb,
+                    r.pass1.best_cost
+                ),
+                (
+                    a.pass1.iterations,
+                    a.pass1.improved,
+                    a.pass1.hit_lb,
+                    a.pass1.best_cost
+                ),
+                "{name}: pass-1 trajectory differs at {t} threads"
+            );
+            assert_eq!(
+                (
+                    r.pass2.iterations,
+                    r.pass2.improved,
+                    r.pass2.hit_lb,
+                    r.pass2.best_cost
+                ),
+                (
+                    a.pass2.iterations,
+                    a.pass2.improved,
+                    a.pass2.hit_lb,
+                    a.pass2.best_cost
+                ),
+                "{name}: pass-2 trajectory differs at {t} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulated_gpu_scheduler_is_run_repeatable() {
+    let occ = OccupancyModel::vega_like();
+    for (name, ddg) in workload_regions() {
+        let diags = check_parallel_repeatability(&ddg, &occ, &cfg(5), 2);
+        assert!(diags.is_empty(), "{name}:\n{}", render(&diags));
+    }
+}

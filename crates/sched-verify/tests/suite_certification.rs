@@ -1,0 +1,95 @@
+//! End-to-end certification: every schedule produced by every scheduler
+//! in the stack, on a generated workload suite, certifies with zero
+//! diagnostics.
+//!
+//! This is the acceptance gate for the verification layer: list
+//! scheduling, sequential ACO, GPU-parallel ACO (through the pipeline,
+//! including its occupancy-capped re-schedules), host-parallel ACO, and
+//! the exact branch-and-bound all have their claims re-derived from first
+//! principles.
+
+use aco::{AcoConfig, HostParallelScheduler};
+use exact_sched::{two_pass_optimum, BnbConfig};
+use list_sched::{Heuristic, ListScheduler};
+use machine_model::OccupancyModel;
+use pipeline::{PipelineConfig, SchedulerKind};
+use sched_verify::{certify_aco, certify_exact, certify_list, render, verify_suite};
+use workloads::{Suite, SuiteConfig};
+
+fn suite() -> Suite {
+    Suite::generate(&SuiteConfig::scaled(9, 0.01))
+}
+
+fn pipeline_cfg(kind: SchedulerKind) -> PipelineConfig {
+    let mut cfg = PipelineConfig::paper(kind, 0);
+    cfg.aco.blocks = 4;
+    cfg.aco.pass2_gate_cycles = 1;
+    cfg
+}
+
+#[test]
+fn list_sched_suite_certifies_clean() {
+    let occ = OccupancyModel::vega_like();
+    let v = verify_suite(&suite(), &occ, &pipeline_cfg(SchedulerKind::BaseAmd));
+    assert!(v.diagnostics.is_empty(), "{}", render(&v.diagnostics));
+    assert!(!v.has_errors());
+    assert!(v.schedules >= v.compilations);
+}
+
+#[test]
+fn critical_path_suite_certifies_clean() {
+    let occ = OccupancyModel::vega_like();
+    let v = verify_suite(&suite(), &occ, &pipeline_cfg(SchedulerKind::CriticalPath));
+    assert!(v.diagnostics.is_empty(), "{}", render(&v.diagnostics));
+}
+
+#[test]
+fn sequential_aco_suite_certifies_clean() {
+    let occ = OccupancyModel::vega_like();
+    let v = verify_suite(&suite(), &occ, &pipeline_cfg(SchedulerKind::SequentialAco));
+    assert!(v.diagnostics.is_empty(), "{}", render(&v.diagnostics));
+    assert!(v.schedules > v.compilations, "ACO must have run somewhere");
+}
+
+#[test]
+fn parallel_aco_suite_certifies_clean() {
+    let occ = OccupancyModel::vega_like();
+    let v = verify_suite(&suite(), &occ, &pipeline_cfg(SchedulerKind::ParallelAco));
+    assert!(v.diagnostics.is_empty(), "{}", render(&v.diagnostics));
+    assert!(v.schedules > v.compilations, "ACO must have run somewhere");
+}
+
+#[test]
+fn host_parallel_schedules_certify_clean() {
+    let occ = OccupancyModel::vega_like();
+    let mut cfg = AcoConfig::small(2);
+    cfg.blocks = 4;
+    cfg.pass2_gate_cycles = 1;
+    for (k, _, ddg) in suite().regions().take(12) {
+        let r = HostParallelScheduler::new(cfg, 4).schedule(ddg, &occ);
+        let diags = certify_aco(ddg, &occ, &cfg, &r);
+        assert!(diags.is_empty(), "kernel {k}:\n{}", render(&diags));
+    }
+}
+
+#[test]
+fn exact_schedules_certify_clean_and_dominate_heuristics() {
+    let occ = OccupancyModel::vega_like();
+    let bnb = BnbConfig::default();
+    for seed in 0..6u64 {
+        let ddg = workloads::patterns::sized(12, seed);
+        let exact = two_pass_optimum(&ddg, &occ, &bnb);
+        let diags = certify_exact(&ddg, &occ, &exact);
+        assert!(diags.is_empty(), "seed {seed}:\n{}", render(&diags));
+        // The exact optimum's pressure cost is a floor for the heuristic's.
+        let heur = ListScheduler::new(Heuristic::AmdMaxOccupancy).schedule(&ddg, &occ);
+        let hdiags = certify_list(&ddg, &occ, &heur);
+        assert!(hdiags.is_empty(), "seed {seed}:\n{}", render(&hdiags));
+        if exact.proven_optimal {
+            assert!(
+                occ.rp_cost(exact.prp) <= occ.rp_cost(heur.prp),
+                "seed {seed}: exact pass-1 optimum beaten by the heuristic"
+            );
+        }
+    }
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, and the full test suite.
+#
+#   scripts/check.sh          # run everything
+#   scripts/check.sh --fast   # skip the release build
+#
+# Mirrors what reviewers expect before a merge: rustfmt clean, clippy
+# clean at -D warnings across every target, all workspace tests green,
+# and (unless --fast) the release build the tier-1 gate uses.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "All checks passed."

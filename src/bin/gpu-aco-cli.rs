@@ -6,7 +6,14 @@
 //!                      [--seed N] [--blocks N] [--unit-aprp] [--dot <out.dot>]
 //! gpu-aco-cli generate <pattern> <size> [--seed N]     # emit a region file
 //! gpu-aco-cli inspect <region.txt>                     # bounds and stats
+//! gpu-aco-cli verify <region.txt> [--scheduler ...|all] [--pedantic]
 //! ```
+//!
+//! `verify` runs the independent verification layer (`sched-verify`): it
+//! lints the region and the ACO configuration, schedules the region with
+//! the selected scheduler(s), re-derives every claim each scheduler makes
+//! (order, pressure, occupancy, length, bounds, two-pass invariant), and
+//! exits nonzero if any error-severity diagnostic is found.
 //!
 //! The region file format is documented in [`sched_ir::textir`]; `generate`
 //! produces it from the rocPRIM-shaped workload generators.
@@ -37,13 +44,16 @@ const USAGE: &str = "usage:
                        [--seed N] [--blocks N] [--unit-aprp] [--dot <out.dot>]
   gpu-aco-cli generate <pattern> <size> [--seed N]
       patterns: reduction scan transform vector stencil sort gather random mixed
-  gpu-aco-cli inspect <region.txt>";
+  gpu-aco-cli inspect <region.txt>
+  gpu-aco-cli verify <region.txt> [--scheduler amd|cp|luc|seq|par|host|exact|all]
+                     [--seed N] [--blocks N] [--unit-aprp] [--pedantic]";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("schedule") => schedule(&args[1..]),
         Some("generate") => generate(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
+        Some("verify") => verify(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("missing command".into()),
     }
@@ -185,6 +195,116 @@ fn schedule(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {out}");
     }
+    Ok(())
+}
+
+fn verify(args: &[String]) -> Result<(), String> {
+    use gpu_aco::verify as sv;
+
+    let path = args.first().ok_or("verify needs a region file")?;
+    let ddg = load_region(path)?;
+    let occ = if args.iter().any(|a| a == "--unit-aprp") {
+        OccupancyModel::unit()
+    } else {
+        OccupancyModel::vega_like()
+    };
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--seed must be an integer")?
+        .unwrap_or(0);
+    let blocks: u32 = flag_value(args, "--blocks")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--blocks must be an integer")?
+        .unwrap_or(32);
+    let cfg = AcoConfig {
+        blocks,
+        ..AcoConfig::paper(seed)
+    };
+
+    let mut diags = if args.iter().any(|a| a == "--pedantic") {
+        sv::lint_ddg_pedantic(&ddg)
+    } else {
+        sv::lint_ddg(&ddg)
+    };
+    diags.extend(sv::lint_config(&cfg));
+
+    // Structural lint errors (non-SSA regions, cycles) make the region
+    // unschedulable — report them instead of handing the schedulers an
+    // input they are allowed to reject violently.
+    if sv::has_errors(&diags) {
+        print!("{}", sv::render(&diags));
+        return Err("verification failed: the region or configuration is invalid".into());
+    }
+
+    let which = flag_value(args, "--scheduler").unwrap_or_else(|| "all".into());
+    let schedulers: Vec<&str> = match which.as_str() {
+        "all" => vec!["amd", "cp", "luc", "seq", "par", "host", "exact"],
+        s @ ("amd" | "cp" | "luc" | "seq" | "par" | "host" | "exact") => vec![s],
+        other => return Err(format!("unknown scheduler `{other}`")),
+    };
+    let mut certified = 0usize;
+    for s in schedulers {
+        let before = diags.len();
+        match s {
+            "amd" | "cp" | "luc" => {
+                let h = match s {
+                    "amd" => Heuristic::AmdMaxOccupancy,
+                    "cp" => Heuristic::CriticalPath,
+                    _ => Heuristic::LastUseCount,
+                };
+                let r = ListScheduler::new(h).schedule(&ddg, &occ);
+                diags.extend(sv::certify_list(&ddg, &occ, &r));
+            }
+            "seq" => {
+                let r = SequentialScheduler::new(cfg).schedule(&ddg, &occ);
+                diags.extend(sv::certify_aco(&ddg, &occ, &cfg, &r));
+            }
+            "par" => {
+                let out = ParallelScheduler::new(cfg).schedule(&ddg, &occ);
+                diags.extend(sv::certify_aco(&ddg, &occ, &cfg, &out.result));
+            }
+            "host" => {
+                let r = HostParallelScheduler::new(cfg, 4).schedule(&ddg, &occ);
+                diags.extend(sv::certify_aco(&ddg, &occ, &cfg, &r));
+                diags.extend(sv::check_host_determinism(&ddg, &occ, &cfg, &[1, 2, 4]));
+            }
+            "exact" => {
+                if ddg.len() > exact_sched::MAX_EXACT_SIZE {
+                    println!(
+                        "verify: skipping exact search ({} instructions > limit {})",
+                        ddg.len(),
+                        exact_sched::MAX_EXACT_SIZE
+                    );
+                    continue;
+                }
+                let r =
+                    exact_sched::two_pass_optimum(&ddg, &occ, &exact_sched::BnbConfig::default());
+                diags.extend(sv::certify_exact(&ddg, &occ, &r));
+            }
+            _ => unreachable!(),
+        }
+        certified += 1;
+        if diags.len() == before {
+            println!("verify: {s}: ok");
+        }
+    }
+
+    print!("{}", sv::render(&diags));
+    if sv::has_errors(&diags) {
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == sv::Severity::Error)
+            .count();
+        return Err(format!(
+            "verification failed: {errors} error-severity diagnostic(s)"
+        ));
+    }
+    println!(
+        "verify: {certified} scheduler(s) certified clean on {} instructions",
+        ddg.len()
+    );
     Ok(())
 }
 

@@ -15,6 +15,8 @@
 //! * [`exact`] — branch-and-bound optimality oracle for small regions
 //!   ([`exact_sched`])
 //! * [`bench_workloads`] — rocPRIM-shaped DDG generators ([`workloads`])
+//! * [`verify`] — independent schedule certification, DDG/config lints,
+//!   and determinism checks ([`sched_verify`])
 //!
 //! # Quickstart
 //!
@@ -38,4 +40,5 @@ pub use machine_model as machine;
 pub use pipeline as compile;
 pub use reg_pressure as pressure;
 pub use sched_ir as ir;
+pub use sched_verify as verify;
 pub use workloads as bench_workloads;

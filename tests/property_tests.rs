@@ -56,7 +56,7 @@ proptest! {
         let mut pending: Vec<usize> = ddg.ids().map(|i| ddg.preds(i).len()).collect();
         let mut ready: Vec<InstrId> = ddg.roots().collect();
         while let Some(id) = ready.pop() {
-            prop_assert!(ready.len() + 1 <= ub, "ready list {} > UB {ub}", ready.len() + 1);
+            prop_assert!(ready.len() < ub, "ready list {} > UB {ub}", ready.len() + 1);
             for &(s, _) in ddg.succs(id) {
                 pending[s.index()] -= 1;
                 if pending[s.index()] == 0 {

@@ -1,0 +1,78 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the `crossbeam::scope` / `Scope::spawn` API the workspace uses,
+//! implemented on `std::thread::scope` (stable since Rust 1.63). As in
+//! crossbeam, the closure passed to [`Scope::spawn`] receives the scope
+//! itself (for nested spawns), and [`scope`] returns `Err` with the panic
+//! payload if any thread panicked.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope for spawning threads that borrow from the enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread, joined automatically at scope exit.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result or panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope; the closure receives the scope.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned threads are joined before
+/// returning. Returns `Err` with the panic payload if anything panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::Mutex::new(0u64);
+        super::scope(|scope| {
+            for chunk in data.chunks(2) {
+                scope.spawn(|_| {
+                    *total.lock().unwrap() += chunk.iter().sum::<u64>();
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.into_inner().unwrap(), 10);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,409 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(ProptestConfig::with_cases(N))]`), `prop_assert!` /
+//! `prop_assert_eq!`, range and `any::<T>()` strategies, `Just`, tuple
+//! strategies, `proptest::collection::vec`, and the `prop_map` /
+//! `prop_flat_map` combinators.
+//!
+//! Semantics differ from upstream in two deliberate ways: there is no
+//! shrinking (a failing case reports its inputs but is not minimized), and
+//! case generation is seeded deterministically from the test's module path
+//! and name so failures reproduce exactly on re-run.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Deterministic RNG driving strategy generation.
+    pub struct TestRng {
+        inner: SmallRng,
+    }
+
+    impl TestRng {
+        /// Seeds a generator for one test case from the test's identity.
+        pub fn for_case(test_path: &str, case: u32) -> TestRng {
+            // FNV-1a over the path keeps seeds stable across runs.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                inner: SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64)),
+            }
+        }
+
+        fn rng(&mut self) -> &mut SmallRng {
+            &mut self.inner
+        }
+    }
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Feeds generated values into `f` to build a dependent strategy.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            let intermediate = self.base.generate(rng);
+            (self.f)(intermediate).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of its value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy for "any value of `T`" under the standard distribution.
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    /// Builds the [`Any`] strategy for `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        rand::Standard: rand::Distribution<T>,
+    {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+
+    impl<T> Strategy for Any<T>
+    where
+        rand::Standard: rand::Distribution<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.rng().gen()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.start..self.end)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(*self.start()..=*self.end())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Sizes accepted by [`crate::collection::vec`]: a fixed length or a
+    /// half-open range of lengths.
+    pub trait VecLen {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl VecLen for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl VecLen for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.rng().gen_range(self.start..self.end)
+        }
+    }
+
+    impl VecLen for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.rng().gen_range(*self.start()..=*self.end())
+        }
+    }
+
+    /// Strategy produced by [`crate::collection::vec`].
+    pub struct VecStrategy<S, L> {
+        pub(crate) element: S,
+        pub(crate) len: L,
+    }
+
+    impl<S: Strategy, L: VecLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{Strategy, VecLen, VecStrategy};
+
+    /// Strategy for a `Vec` whose elements come from `element` and whose
+    /// length is `len` (a fixed `usize` or a range of lengths).
+    pub fn vec<S: Strategy, L: VecLen>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// A failed property-test case (what `prop_assert!` produces).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given reason.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Number of cases to run per property (no other knobs supported).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// How many generated cases each property test executes.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// The usual `use proptest::prelude::*` imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test; on failure the enclosing
+/// function returns `Err(TestCaseError)` (so it composes with `?`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?} == {:?}`: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$attr:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::strategy::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!("property `{}` failed on case {}: {}", stringify!($name), __case, e);
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    (($cfg:expr);) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in any::<u64>()) {
+            prop_assert!((3..17).contains(&x));
+            let _ = y;
+        }
+
+        #[test]
+        fn composition_works(v in (2usize..6).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(1u32..5, n)).prop_map(|(n, xs)| (n, xs))
+        })) {
+            let (n, xs) = v;
+            prop_assert_eq!(xs.len(), n);
+            prop_assert!(xs.iter().all(|&x| (1..5).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::{Strategy, TestRng};
+        let s = 0u64..1_000_000;
+        let mut a = TestRng::for_case("x::y", 7);
+        let mut b = TestRng::for_case("x::y", 7);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward
+//! compatibility for a future JSON export; nothing serializes today. The
+//! traits here are empty markers with blanket impls, and the derive macros
+//! (re-exported from the vendored `serde_derive`) expand to nothing. Trait
+//! names and macro names live in separate namespaces, so both re-exports
+//! can coexist exactly as in real serde.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
