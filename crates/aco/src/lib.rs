@@ -48,7 +48,7 @@ pub mod sequential;
 pub use config::{AcoConfig, GpuTuning, Termination};
 pub use construct::{AntContext, Pass1Ant, Pass1Result, Pass2Ant, Pass2Result, Pass2Step};
 pub use host_parallel::HostParallelScheduler;
-pub use parallel::{BatchOutcome, GpuStats, ParallelOutcome, ParallelScheduler};
+pub use parallel::{batch_block_split, BatchOutcome, GpuStats, ParallelOutcome, ParallelScheduler};
 pub use pheromone::PheromoneTable;
 pub use result::{AcoResult, PassStats};
 pub use sequential::{pass2_target, SequentialScheduler};

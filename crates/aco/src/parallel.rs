@@ -268,6 +268,7 @@ impl ParallelScheduler {
         LaunchProfile {
             alloc_us: self.spec.alloc_time_us(device_allocs, host_allocs),
             copy_us: self.spec.transfer_time_us(copy_calls, bytes),
+            copy_bytes: bytes,
             kernel_us: 0.0,
         }
     }
@@ -792,6 +793,30 @@ pub struct BatchOutcome {
     /// allocation, one batched transfer and one cooperative kernel per
     /// pass, with the regions' wavefront groups running concurrently.
     pub batched_us: f64,
+    /// The shared launch profile of each pass (zero for a pass no region
+    /// ran). `batched_us` is the sum of their totals.
+    pub pass_profiles: [LaunchProfile; 2],
+}
+
+/// Splits a colony's block budget across `k` batched regions: every region
+/// gets `total / k` blocks and the first `total % k` regions one extra, so
+/// the group uses exactly `total` blocks and never oversubscribes the
+/// device the colony was sized for.
+///
+/// # Panics
+///
+/// Panics when `k == 0` or `k > total` (some region would get no wavefront
+/// group at all); the pipeline's batch planner never forms such groups.
+pub fn batch_block_split(total: u32, k: u32) -> Vec<u32> {
+    assert!(k > 0, "a batch needs at least one region");
+    assert!(
+        k <= total,
+        "batch of {k} regions exceeds the {total}-block colony budget; \
+         split the group instead of oversubscribing the device"
+    );
+    let base = total / k;
+    let rem = total % k;
+    (0..k).map(|i| base + u32::from(i < rem)).collect()
 }
 
 impl ParallelScheduler {
@@ -808,34 +833,37 @@ impl ParallelScheduler {
     /// lasts only as long as its slowest region.
     ///
     /// Construction results are identical to per-region launches with the
-    /// same split colony; only the time model differs.
+    /// same split colony (see [`batch_block_split`]); only the time model
+    /// differs.
     ///
     /// # Panics
     ///
-    /// Panics if `regions` is empty.
+    /// Panics if `regions` is empty or holds more regions than the colony
+    /// has blocks — the group's wavefront groups must fit the configured
+    /// colony (`Σ split blocks = cfg.blocks`), so oversized groups have to
+    /// be split by the caller (the pipeline's batch planner does).
     pub fn schedule_batch(&mut self, regions: &[&Ddg], occ: &OccupancyModel) -> BatchOutcome {
         assert!(!regions.is_empty(), "a batch needs at least one region");
-        let k = regions.len() as u32;
-        let per_region_blocks = (self.cfg.blocks / k).max(1);
+        let split = batch_block_split(self.cfg.blocks, regions.len() as u32);
         let mut outcomes = Vec::with_capacity(regions.len());
-        for ddg in regions {
-            let cfg = AcoConfig {
-                blocks: per_region_blocks,
-                ..self.cfg
-            };
+        for (ddg, &blocks) in regions.iter().zip(&split) {
+            let cfg = AcoConfig { blocks, ..self.cfg };
             outcomes.push(ParallelScheduler::with_spec(cfg, self.spec).schedule(ddg, occ));
         }
         let individual_us: f64 = outcomes.iter().map(|o| o.gpu.total_us()).sum();
 
-        // Batched model, per pass: regions' wavefront groups run
-        // concurrently (k * per_region_blocks <= the configured colony,
-        // which fits the device), so the cooperative kernel drains when
-        // the slowest region's group finishes. Setup is shared: one device
-        // allocation, per-region host staging, one batched transfer whose
-        // byte volume is unchanged (only the per-call overheads collapse).
-        let mut batched_us = 0.0;
-        for pass in 0..2 {
-            let profiles: Vec<&LaunchProfile> = outcomes
+        // Batched model, per pass: the regions' wavefront groups run
+        // concurrently (Σ split blocks = the configured colony, which fits
+        // the device), so the cooperative kernel drains when the slowest
+        // region's group finishes. Setup is shared: one device allocation
+        // with per-region host staging, and one batch of 4 transfer calls
+        // moving the group's total byte volume (recomputed from the bytes,
+        // not patched out of the per-region call counts — regions profiled
+        // with `batched_transfer: false` charged `24 + threads/64` calls
+        // each, all of which collapse here).
+        let mut pass_profiles = [LaunchProfile::default(); 2];
+        for (pass, shared) in pass_profiles.iter_mut().enumerate() {
+            let active: Vec<&LaunchProfile> = outcomes
                 .iter()
                 .map(|o| {
                     if pass == 0 {
@@ -844,32 +872,18 @@ impl ParallelScheduler {
                         &o.gpu.pass2_profile
                     }
                 })
+                .filter(|p| p.total_us() > 0.0)
                 .collect();
-            let active: Vec<&&LaunchProfile> =
-                profiles.iter().filter(|p| p.total_us() > 0.0).collect();
-            if active.is_empty() {
-                continue;
-            }
-            let launch = self.spec.launch_overhead_us;
-            let kernel = active
-                .iter()
-                .map(|p| (p.kernel_us - launch).max(0.0))
-                .fold(0.0f64, f64::max);
-            // One shared device allocation; host staging stays per region.
-            let alloc = self.spec.alloc_time_us(1, 8 * active.len() as u64);
-            // Bytes unchanged, call overheads collapse to one batch of 4.
-            let per_call = self.spec.copy_call_overhead_us;
-            let copy = active
-                .iter()
-                .map(|p| p.copy_us - 4.0 * per_call)
-                .sum::<f64>()
-                + 4.0 * per_call;
-            batched_us += launch + kernel + alloc + copy.max(0.0);
+            *shared = self
+                .spec
+                .shared_launch_profile(&active, 8 * active.len() as u64, 4);
         }
+        let batched_us = pass_profiles.iter().map(LaunchProfile::total_us).sum();
         BatchOutcome {
             outcomes,
             individual_us,
             batched_us,
+            pass_profiles,
         }
     }
 }
@@ -910,16 +924,151 @@ mod batch_tests {
             .collect();
         let refs: Vec<&Ddg> = regions.iter().collect();
         let mut cfg = AcoConfig::paper(2);
-        cfg.blocks = 12;
+        // 14 blocks over 3 regions: remainder distribution gives 5, 5, 4.
+        cfg.blocks = 14;
+        let split = batch_block_split(cfg.blocks, 3);
+        assert_eq!(split, vec![5, 5, 4]);
         let batch = ParallelScheduler::new(cfg).schedule_batch(&refs, &occ);
-        for (o, ddg) in batch.outcomes.iter().zip(&regions) {
-            let solo_cfg = AcoConfig { blocks: 4, ..cfg };
-            let solo = ParallelScheduler::new(solo_cfg).schedule(ddg, &occ);
+        for ((o, ddg), &blocks) in batch.outcomes.iter().zip(&regions).zip(&split) {
+            let solo = ParallelScheduler::new(AcoConfig { blocks, ..cfg }).schedule(ddg, &occ);
+            // Bitwise-identical to the solo run with the same split colony:
+            // the schedule, its claims, and the per-region GPU observations.
             assert_eq!(
                 o.result.order, solo.result.order,
                 "batching must not change results"
             );
+            assert_eq!(o.result.schedule, solo.result.schedule);
+            assert_eq!(o.result.prp, solo.result.prp);
+            assert_eq!(o.result.length, solo.result.length);
+            assert_eq!(o.gpu, solo.gpu);
         }
+    }
+
+    #[test]
+    fn block_split_distributes_remainder_within_budget() {
+        assert_eq!(batch_block_split(10, 3), vec![4, 3, 3]);
+        assert_eq!(batch_block_split(8, 8), vec![1; 8]);
+        assert_eq!(batch_block_split(7, 2), vec![4, 3]);
+        for (total, k) in [(32u32, 5u32), (180, 7), (16, 16), (9, 4)] {
+            let split = batch_block_split(total, k);
+            assert_eq!(split.iter().sum::<u32>(), total, "budget must be exact");
+            assert!(split.iter().all(|&b| b >= 1));
+            assert!(split.windows(2).all(|w| w[0] >= w[1]), "extras go first");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 4-block colony budget")]
+    fn oversized_batch_panics_instead_of_oversubscribing() {
+        let occ = OccupancyModel::vega_like();
+        let regions: Vec<_> = (0..6u64)
+            .map(|s| workloads::patterns::sized(20, 800 + s))
+            .collect();
+        let refs: Vec<&Ddg> = regions.iter().collect();
+        let mut cfg = AcoConfig::paper(0);
+        cfg.blocks = 4;
+        let _ = ParallelScheduler::new(cfg).schedule_batch(&refs, &occ);
+    }
+
+    #[test]
+    fn single_region_batch_matches_solo_cost() {
+        // A batch of one region shares nothing: with the default batched
+        // transfers the shared-launch model must collapse to the solo one.
+        let occ = OccupancyModel::vega_like();
+        let ddg = workloads::patterns::sized(60, 901);
+        let mut cfg = AcoConfig::paper(3);
+        cfg.blocks = 8;
+        let batch = ParallelScheduler::new(cfg).schedule_batch(&[&ddg], &occ);
+        assert_eq!(batch.outcomes.len(), 1);
+        assert!(
+            (batch.batched_us - batch.individual_us).abs() < 1e-9,
+            "single-region batch must cost the solo time: batched {} vs solo {}",
+            batch.batched_us,
+            batch.individual_us
+        );
+    }
+
+    #[test]
+    fn gated_pass2_contributes_no_shared_pass2_launch() {
+        let occ = OccupancyModel::vega_like();
+        let regions: Vec<_> = (0..3u64)
+            .map(|s| workloads::patterns::sized(40, 910 + s))
+            .collect();
+        let refs: Vec<&Ddg> = regions.iter().collect();
+        let mut cfg = AcoConfig::paper(4);
+        cfg.blocks = 12;
+        // Gate pass 2 off everywhere: its shared profile must stay empty
+        // and the batched time must only price the pass-1 launch.
+        cfg.pass2_gate_cycles = 100_000;
+        let batch = ParallelScheduler::new(cfg).schedule_batch(&refs, &occ);
+        for o in &batch.outcomes {
+            assert_eq!(o.gpu.pass2_profile, LaunchProfile::default());
+        }
+        assert_eq!(batch.pass_profiles[1], LaunchProfile::default());
+        assert!(
+            (batch.batched_us - batch.pass_profiles[0].total_us()).abs() < 1e-12,
+            "only pass 1 may be priced when pass 2 is gated off"
+        );
+    }
+
+    #[test]
+    fn trivial_region_in_batch_is_free() {
+        use sched_ir::DdgBuilder;
+        let occ = OccupancyModel::vega_like();
+        let mut b = DdgBuilder::new();
+        b.instr("one", [], []);
+        let trivial = b.build().unwrap();
+        let real = workloads::patterns::sized(50, 920);
+        let mut cfg = AcoConfig::paper(5);
+        cfg.blocks = 8;
+        let batch = ParallelScheduler::new(cfg).schedule_batch(&[&trivial, &real], &occ);
+        assert_eq!(batch.outcomes[0].gpu, GpuStats::default());
+        // The trivial region joins neither shared launch, so the batch
+        // costs exactly what the real region's solo split run costs.
+        let solo = ParallelScheduler::new(AcoConfig { blocks: 4, ..cfg }).schedule(&real, &occ);
+        assert!((batch.individual_us - solo.gpu.total_us()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_time_bounded_below_by_slowest_kernels() {
+        // Per pass, the cooperative kernel cannot beat its slowest region's
+        // kernel time (one launch overhead + the longest kernel body).
+        let occ = OccupancyModel::vega_like();
+        let regions: Vec<_> = (0..4u64)
+            .map(|s| workloads::patterns::sized(30 + 30 * s as usize, 930 + s))
+            .collect();
+        let refs: Vec<&Ddg> = regions.iter().collect();
+        let mut cfg = AcoConfig::paper(6);
+        cfg.blocks = 16;
+        cfg.pass2_gate_cycles = 1;
+        let batch = ParallelScheduler::new(cfg).schedule_batch(&refs, &occ);
+        let lower_bound: f64 = (0..2)
+            .map(|pass| {
+                batch
+                    .outcomes
+                    .iter()
+                    .map(|o| {
+                        let p = if pass == 0 {
+                            &o.gpu.pass1_profile
+                        } else {
+                            &o.gpu.pass2_profile
+                        };
+                        if p.total_us() > 0.0 {
+                            p.kernel_us
+                        } else {
+                            0.0
+                        }
+                    })
+                    .fold(0.0f64, f64::max)
+            })
+            .sum();
+        assert!(lower_bound > 0.0);
+        assert!(
+            batch.batched_us >= lower_bound,
+            "batched_us {} below the launch + slowest-kernel bound {}",
+            batch.batched_us,
+            lower_bound
+        );
     }
 
     #[test]

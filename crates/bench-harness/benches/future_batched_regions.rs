@@ -1,51 +1,88 @@
-//! Future-work projection (Section VII): "scheduling multiple regions in
-//! parallel" — one cooperative launch per pass for a whole batch of
-//! regions, with the colony's wavefront groups split across them.
+//! Batched multi-region scheduling (Section VII), planner-driven: the
+//! pipeline's batch planner groups a mixed bag of regions into cooperative
+//! launches under the colony's block budget, and this sweep quantifies the
+//! launch-overhead saving as the group cap grows.
 //!
 //! Not a paper table; it quantifies the paper's stated next step on the
-//! same cost model as Tables 3–5.
+//! same cost model as Tables 3–5, now through the production planner
+//! (`pipeline::plan_batches`) rather than a hand-built demo batch.
 
 use aco::{AcoConfig, ParallelScheduler};
 use bench_harness::{print_table, regions_in_band, SizeBand};
 use machine_model::OccupancyModel;
+use pipeline::BatchingConfig;
 use sched_ir::Ddg;
 
 const SEED: u64 = 91;
+const BLOCKS: u32 = 32;
 
 fn main() {
     let occ = OccupancyModel::vega_like();
-    let mut rows = Vec::new();
+
+    // A mixed workload: mostly small regions (the Table-3 shape), a few
+    // medium and large ones.
+    let mut regions: Vec<Ddg> = Vec::new();
     for (band, count) in [
         (SizeBand::Small, 12),
         (SizeBand::Medium, 8),
         (SizeBand::Large, 4),
     ] {
-        let regions = regions_in_band(band, count, SEED);
-        let refs: Vec<&Ddg> = regions.iter().collect();
-        let mut cfg = AcoConfig::paper(SEED);
-        cfg.blocks = 32;
-        cfg.pass2_gate_cycles = 1;
-        let batch = ParallelScheduler::new(cfg).schedule_batch(&refs, &occ);
-        let saving = if batch.individual_us > 0.0 {
-            100.0 * (batch.individual_us - batch.batched_us) / batch.individual_us
+        regions.extend(regions_in_band(band, count, SEED));
+    }
+    let sizes: Vec<usize> = regions.iter().map(Ddg::len).collect();
+
+    let mut aco = AcoConfig::paper(SEED);
+    aco.blocks = BLOCKS;
+    aco.pass2_gate_cycles = 1;
+
+    let mut rows = Vec::new();
+    for max_group in [1u32, 2, 4, 8, 16] {
+        let cfg = BatchingConfig {
+            max_group,
+            min_blocks_per_region: 2,
+        };
+        let groups = pipeline::plan_batches(&sizes, BLOCKS, &cfg);
+        let mut individual = 0.0;
+        let mut batched = 0.0;
+        for group in &groups {
+            let refs: Vec<&Ddg> = group.iter().map(|&i| &regions[i]).collect();
+            let batch = ParallelScheduler::new(aco).schedule_batch(&refs, &occ);
+            individual += batch.individual_us;
+            batched += batch.batched_us;
+        }
+        let saving = if individual > 0.0 {
+            100.0 * (individual - batched) / individual
         } else {
             0.0
         };
         rows.push(vec![
-            format!("{} x {}", count, band.label()),
-            format!("{:.0}", batch.individual_us),
-            format!("{:.0}", batch.batched_us),
+            format!("{max_group}"),
+            format!("{}", groups.len()),
+            format!("{individual:.0}"),
+            format!("{batched:.0}"),
             format!("{saving:.1}%"),
         ]);
     }
     print_table(
-        "FUTURE WORK — BATCHED MULTI-REGION SCHEDULING (one launch per pass per batch)",
-        &["batch", "individual (us)", "batched (us)", "saving"],
+        &format!(
+            "BATCHED MULTI-REGION SCHEDULING — planner sweep \
+             ({} regions, {BLOCKS}-block colony)",
+            regions.len()
+        ),
+        &[
+            "group cap",
+            "launches",
+            "individual (us)",
+            "batched (us)",
+            "saving",
+        ],
         &rows,
     );
     println!(
-        "expected shape: the saving is largest for batches of small regions, whose\n\
-         individual launches are dominated by the fixed launch/copy overheads that\n\
-         batching shares — exactly why the paper proposes it (Section VII)."
+        "expected shape: saving grows with the group cap and saturates once groups\n\
+         span the whole small-region band — the shared launch/alloc/copy overheads\n\
+         are amortized over more regions per launch, while each region's schedule\n\
+         stays bitwise-identical to a solo run with its split colony (the planner\n\
+         never hands a region fewer blocks than the budget allows)."
     );
 }

@@ -104,6 +104,38 @@ impl GpuSpec {
         device_allocs as f64 * self.device_alloc_overhead_us
             + host_allocs as f64 * self.host_alloc_overhead_us
     }
+
+    /// Combines per-region launch profiles into the profile of one *shared*
+    /// (cooperative, multi-region) launch.
+    ///
+    /// The regions' wavefront groups execute concurrently, so the kernel
+    /// pays the launch overhead once and drains when its slowest region
+    /// finishes; setup collapses to a single device allocation (plus
+    /// `host_allocs` host-side staging allocations) and one batched
+    /// transfer of `copy_calls` calls moving every region's recorded byte
+    /// volume. This is the cost model behind batching several scheduling
+    /// regions into one launch (the paper's Section VII proposal).
+    pub fn shared_launch_profile(
+        &self,
+        profiles: &[&LaunchProfile],
+        host_allocs: u64,
+        copy_calls: u64,
+    ) -> LaunchProfile {
+        if profiles.is_empty() {
+            return LaunchProfile::default();
+        }
+        let body = profiles
+            .iter()
+            .map(|p| (p.kernel_us - self.launch_overhead_us).max(0.0))
+            .fold(0.0f64, f64::max);
+        let bytes: u64 = profiles.iter().map(|p| p.copy_bytes).sum();
+        LaunchProfile {
+            alloc_us: self.alloc_time_us(1, host_allocs),
+            copy_us: self.transfer_time_us(copy_calls, bytes),
+            copy_bytes: bytes,
+            kernel_us: self.launch_overhead_us + body,
+        }
+    }
 }
 
 impl Default for GpuSpec {
@@ -119,6 +151,10 @@ pub struct LaunchProfile {
     pub alloc_us: f64,
     /// Host↔device transfer time, microseconds.
     pub copy_us: f64,
+    /// Bytes moved by the transfers behind `copy_us`. Bookkeeping only (not
+    /// part of `total_us`); lets batched launches recompute a shared
+    /// transfer from the byte volume instead of patching `copy_us`.
+    pub copy_bytes: u64,
     /// Kernel execution time (including launch overhead), microseconds.
     pub kernel_us: f64,
 }
@@ -182,9 +218,54 @@ mod tests {
         let p = LaunchProfile {
             alloc_us: 1.0,
             copy_us: 2.0,
+            copy_bytes: 1024,
             kernel_us: 3.0,
         };
         assert!((p.total_us() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_launch_profile_of_nothing_is_zero() {
+        let g = GpuSpec::radeon_vii();
+        assert_eq!(g.shared_launch_profile(&[], 8, 4), LaunchProfile::default());
+    }
+
+    #[test]
+    fn shared_launch_kernel_drains_with_slowest_region() {
+        let g = GpuSpec::radeon_vii();
+        let fast = LaunchProfile {
+            kernel_us: g.launch_overhead_us + 10.0,
+            copy_bytes: 1000,
+            ..Default::default()
+        };
+        let slow = LaunchProfile {
+            kernel_us: g.launch_overhead_us + 90.0,
+            copy_bytes: 3000,
+            ..Default::default()
+        };
+        let shared = g.shared_launch_profile(&[&fast, &slow], 16, 4);
+        // One launch overhead, the slowest body.
+        assert!((shared.kernel_us - (g.launch_overhead_us + 90.0)).abs() < 1e-12);
+        // One device allocation plus the host staging allocations.
+        assert!((shared.alloc_us - g.alloc_time_us(1, 16)).abs() < 1e-12);
+        // One batched transfer of the summed byte volume.
+        assert_eq!(shared.copy_bytes, 4000);
+        assert!((shared.copy_us - g.transfer_time_us(4, 4000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_launch_beats_separate_launches() {
+        let g = GpuSpec::radeon_vii();
+        // Two overhead-dominated regions (small kernels, scattered copies).
+        let mk = |body: f64, bytes: u64| LaunchProfile {
+            alloc_us: g.alloc_time_us(1, 8),
+            copy_us: g.transfer_time_us(4, bytes),
+            copy_bytes: bytes,
+            kernel_us: g.launch_overhead_us + body,
+        };
+        let (a, b) = (mk(5.0, 2000), mk(7.0, 2500));
+        let shared = g.shared_launch_profile(&[&a, &b], 16, 4);
+        assert!(shared.total_us() < a.total_us() + b.total_us());
     }
 
     #[test]

@@ -15,15 +15,20 @@ pub enum SchedulerKind {
     SequentialAco,
     /// Heuristic + parallel ACO on the (simulated) GPU.
     ParallelAco,
+    /// Parallel ACO with a kernel's regions batched into cooperative
+    /// multi-region launches (the paper's Section VII proposal promoted
+    /// into a pipeline mode; see [`crate::batch`]).
+    BatchedParallelAco,
 }
 
 impl SchedulerKind {
     /// All scheduler kinds.
-    pub const ALL: [SchedulerKind; 4] = [
+    pub const ALL: [SchedulerKind; 5] = [
         SchedulerKind::BaseAmd,
         SchedulerKind::CriticalPath,
         SchedulerKind::SequentialAco,
         SchedulerKind::ParallelAco,
+        SchedulerKind::BatchedParallelAco,
     ];
 
     /// Human-readable name used in table output.
@@ -33,7 +38,47 @@ impl SchedulerKind {
             SchedulerKind::CriticalPath => "Critical Path",
             SchedulerKind::SequentialAco => "Sequential ACO",
             SchedulerKind::ParallelAco => "Parallel ACO",
+            SchedulerKind::BatchedParallelAco => "Batched Parallel ACO",
         }
+    }
+}
+
+/// Grouping policy of the batched pipeline mode
+/// ([`SchedulerKind::BatchedParallelAco`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchingConfig {
+    /// Hard cap on regions per cooperative launch group.
+    pub max_group: u32,
+    /// Minimum blocks (wavefront groups) every batched region keeps when
+    /// the colony is split across a group — bounds how far batching
+    /// dilutes a region's ant population.
+    pub min_blocks_per_region: u32,
+}
+
+impl BatchingConfig {
+    /// The default policy: groups of at most 8 regions, each keeping at
+    /// least 2 of the colony's blocks.
+    pub fn paper() -> BatchingConfig {
+        BatchingConfig {
+            max_group: 8,
+            min_blocks_per_region: 2,
+        }
+    }
+
+    /// The largest group a colony of `blocks` blocks admits under this
+    /// policy: at most `max_group` regions, each keeping at least
+    /// `min_blocks_per_region` blocks (and never fewer than one — the
+    /// block-budget invariant `group size <= blocks` is what keeps a
+    /// cooperative launch from oversubscribing the device).
+    pub fn group_cap(&self, blocks: u32) -> usize {
+        let by_budget = blocks / self.min_blocks_per_region.max(1);
+        by_budget.clamp(1, self.max_group.max(1)).min(blocks.max(1)) as usize
+    }
+}
+
+impl Default for BatchingConfig {
+    fn default() -> BatchingConfig {
+        BatchingConfig::paper()
     }
 }
 
@@ -44,6 +89,8 @@ pub struct PipelineConfig {
     pub scheduler: SchedulerKind,
     /// ACO parameters (both ACO schedulers).
     pub aco: AcoConfig,
+    /// Batch-planner policy ([`SchedulerKind::BatchedParallelAco`] only).
+    pub batching: BatchingConfig,
     /// Post-scheduling filter: revert to the heuristic schedule when ACO's
     /// occupancy gain is at most this much...
     pub revert_occupancy_gain: u32,
@@ -68,6 +115,7 @@ impl PipelineConfig {
         PipelineConfig {
             scheduler,
             aco,
+            batching: BatchingConfig::paper(),
             revert_occupancy_gain: 3,
             revert_length_penalty: 63,
             // The paper's base compile time is ~4.6 ms per region (840 s /
@@ -118,5 +166,28 @@ mod tests {
         let names: std::collections::HashSet<_> =
             SchedulerKind::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), SchedulerKind::ALL.len());
+    }
+
+    #[test]
+    fn group_cap_respects_budget_and_policy() {
+        let b = BatchingConfig::paper();
+        // 16 blocks / min 2 per region = 8 regions, within max_group.
+        assert_eq!(b.group_cap(16), 8);
+        // The max_group cap binds for big colonies.
+        assert_eq!(b.group_cap(180), 8);
+        // Tiny colonies: never more regions than blocks.
+        assert_eq!(b.group_cap(3), 1);
+        assert_eq!(b.group_cap(1), 1);
+        // Degenerate policies stay safe.
+        let loose = BatchingConfig {
+            max_group: 64,
+            min_blocks_per_region: 1,
+        };
+        assert_eq!(loose.group_cap(4), 4);
+        let zero = BatchingConfig {
+            max_group: 0,
+            min_blocks_per_region: 0,
+        };
+        assert_eq!(zero.group_cap(8), 1);
     }
 }

@@ -14,14 +14,20 @@
 //!   schedule length,
 //! * **suite runs** — compiling a whole [`workloads::Suite`] under any
 //!   [`SchedulerKind`] and aggregating the statistics the paper's tables
-//!   report.
+//!   report,
+//! * **batched compilation** ([`batch`]) — the Section VII future-work
+//!   mode: a kernel's ACO-eligible regions grouped into cooperative
+//!   multi-region launches under the colony's block budget, sharing the
+//!   launch/allocation/transfer overheads that dominate small regions.
 
+pub mod batch;
 pub mod config;
 pub mod exec_model;
 pub mod region;
 pub mod suite_run;
 
-pub use config::{PipelineConfig, SchedulerKind};
+pub use batch::plan_batches;
+pub use config::{BatchingConfig, PipelineConfig, SchedulerKind};
 pub use exec_model::{benchmark_throughput, kernel_time_us, ExecModel};
 pub use region::{compile_region, FinalChoice, RegionCompilation};
 pub use suite_run::{compile_suite, compile_suite_observed, RegionRecord, SuiteRun};

@@ -58,14 +58,32 @@ pub fn compile_region(ddg: &Ddg, occ: &OccupancyModel, cfg: &PipelineConfig) -> 
     let heuristic = ListScheduler::new(heuristic_kind).schedule(ddg, occ);
     let heuristic_time_us = heuristic_model_time_us(ddg);
 
+    // A batched-mode solo compilation (trivial regions the planner leaves
+    // out, and the kernel post filter's occupancy-capped re-schedules) runs
+    // the full-colony parallel scheduler, exactly like `ParallelAco`.
     let aco_result = match cfg.scheduler {
         SchedulerKind::BaseAmd | SchedulerKind::CriticalPath => None,
         SchedulerKind::SequentialAco => Some(SequentialScheduler::new(cfg.aco).schedule(ddg, occ)),
-        SchedulerKind::ParallelAco => {
+        SchedulerKind::ParallelAco | SchedulerKind::BatchedParallelAco => {
             Some(ParallelScheduler::new(cfg.aco).schedule(ddg, occ).result)
         }
     };
 
+    assemble_compilation(ddg, heuristic, heuristic_time_us, aco_result, cfg)
+}
+
+/// Assembles a [`RegionCompilation`] from a heuristic baseline and an
+/// optional ACO result: the Section VI-D post-scheduling filter, the
+/// processing flags, and the time accounting. Shared by the per-region
+/// flow above and the batched kernel flow ([`crate::batch`]), which obtains
+/// its ACO results from cooperative multi-region launches.
+pub(crate) fn assemble_compilation(
+    ddg: &Ddg,
+    heuristic: ScheduleResult,
+    heuristic_time_us: f64,
+    aco_result: Option<AcoResult>,
+    cfg: &PipelineConfig,
+) -> RegionCompilation {
     match aco_result {
         None => RegionCompilation {
             size: ddg.len(),
@@ -125,7 +143,7 @@ pub fn compile_region(ddg: &Ddg, occ: &OccupancyModel, cfg: &PipelineConfig) -> 
 
 /// Modeled cost of one heuristic list-scheduling run, microseconds
 /// (linear-ish in region size; negligible next to ACO).
-fn heuristic_model_time_us(ddg: &Ddg) -> f64 {
+pub(crate) fn heuristic_model_time_us(ddg: &Ddg) -> f64 {
     0.5 + 0.02 * (ddg.len() + ddg.edge_count()) as f64
 }
 

@@ -6,7 +6,7 @@
 //! parallelization argument — any thread-count-dependent reduction order
 //! or RNG stream split shows up here as a `D001` diagnostic.
 
-use aco::{AcoConfig, HostParallelScheduler};
+use aco::{batch_block_split, AcoConfig, HostParallelScheduler, ParallelScheduler};
 use machine_model::OccupancyModel;
 use sched_ir::{figure1, Ddg};
 use sched_verify::{check_host_determinism, check_parallel_repeatability, render};
@@ -81,6 +81,47 @@ fn host_parallel_pass_stats_are_thread_count_invariant() {
                 "{name}: pass-2 trajectory differs at {t} threads"
             );
         }
+    }
+}
+
+#[test]
+fn batched_launch_equals_solo_split_colony_runs() {
+    // The cooperative multi-region launch only changes the cost model:
+    // each region's constructed schedule must be bitwise-identical to a
+    // solo run whose colony holds exactly that region's block share. A
+    // non-divisible block count exercises the remainder distribution.
+    let occ = OccupancyModel::vega_like();
+    let regions = workload_regions();
+    let ddgs: Vec<&Ddg> = regions.iter().map(|(_, d)| d).collect();
+    let mut batch_cfg = cfg(3);
+    batch_cfg.blocks = 10; // 4 regions -> split [3, 3, 2, 2]
+    let batch = ParallelScheduler::new(batch_cfg).schedule_batch(&ddgs, &occ);
+    let split = batch_block_split(batch_cfg.blocks, ddgs.len() as u32);
+    for (pos, (name, ddg)) in regions.iter().enumerate() {
+        let mut solo_cfg = batch_cfg;
+        solo_cfg.blocks = split[pos];
+        let solo = ParallelScheduler::new(solo_cfg).schedule(ddg, &occ);
+        let (b, s) = (&batch.outcomes[pos].result, &solo.result);
+        assert_eq!(b.order, s.order, "{name}: order drifted");
+        assert_eq!(b.schedule, s.schedule, "{name}: schedule drifted");
+        assert_eq!(b.prp, s.prp, "{name}: pressure drifted");
+        assert_eq!(b.length, s.length, "{name}: length drifted");
+        assert_eq!(b.occupancy, s.occupancy, "{name}: occupancy drifted");
+        assert_eq!(
+            (
+                b.pass1.iterations,
+                b.pass1.best_cost,
+                b.pass2.iterations,
+                b.pass2.best_cost
+            ),
+            (
+                s.pass1.iterations,
+                s.pass1.best_cost,
+                s.pass2.iterations,
+                s.pass2.best_cost
+            ),
+            "{name}: search trajectory drifted"
+        );
     }
 }
 

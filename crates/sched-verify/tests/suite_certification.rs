@@ -60,6 +60,22 @@ fn parallel_aco_suite_certifies_clean() {
 }
 
 #[test]
+fn batched_parallel_aco_suite_certifies_clean() {
+    // Batched mode routes every region through cooperative multi-region
+    // launches; the observer hook still fires per region with the split
+    // colony it ran under, so certification must stay exact.
+    let occ = OccupancyModel::vega_like();
+    let v = verify_suite(
+        &suite(),
+        &occ,
+        &pipeline_cfg(SchedulerKind::BatchedParallelAco),
+    );
+    assert!(v.diagnostics.is_empty(), "{}", render(&v.diagnostics));
+    assert!(!v.has_errors());
+    assert!(v.schedules > v.compilations, "ACO must have run somewhere");
+}
+
+#[test]
 fn host_parallel_schedules_certify_clean() {
     let occ = OccupancyModel::vega_like();
     let mut cfg = AcoConfig::small(2);

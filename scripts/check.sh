@@ -6,7 +6,8 @@
 #
 # Mirrors what reviewers expect before a merge: rustfmt clean, clippy
 # clean at -D warnings across every target, all workspace tests green,
-# and (unless --fast) the release build the tier-1 gate uses.
+# and (unless --fast) the release build the tier-1 gate uses, the bench
+# binaries compiling, and a CLI verify smoke run on generated regions.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,6 +21,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "${1:-}" != "--fast" ]]; then
     echo "==> cargo build --release"
     cargo build --release
+
+    echo "==> cargo bench --workspace --no-run"
+    cargo bench --workspace --no-run
+
+    echo "==> gpu-aco-cli verify smoke run"
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+    ./target/release/gpu-aco-cli generate mixed 60 --seed 7 > "$smoke_dir/region.txt"
+    ./target/release/gpu-aco-cli verify "$smoke_dir/region.txt" --blocks 8
+    ./target/release/gpu-aco-cli generate reduction 40 --seed 9 > "$smoke_dir/region2.txt"
+    ./target/release/gpu-aco-cli schedule "$smoke_dir/region.txt" "$smoke_dir/region2.txt" \
+        --batch --blocks 8 > /dev/null
 fi
 
 echo "==> cargo test --workspace -q"

@@ -4,10 +4,17 @@
 //! ```text
 //! gpu-aco-cli schedule <region.txt> [--scheduler amd|cp|luc|seq|par|host|exact]
 //!                      [--seed N] [--blocks N] [--unit-aprp] [--dot <out.dot>]
+//! gpu-aco-cli schedule <region.txt>... --batch [--seed N] [--blocks N] [--unit-aprp]
 //! gpu-aco-cli generate <pattern> <size> [--seed N]     # emit a region file
 //! gpu-aco-cli inspect <region.txt>                     # bounds and stats
 //! gpu-aco-cli verify <region.txt> [--scheduler ...|all] [--pedantic]
 //! ```
+//!
+//! `--batch` schedules several regions in one cooperative multi-region
+//! launch pair (the paper's Section VII proposal): the colony's blocks are
+//! split across the regions, the launch/allocation/transfer overheads are
+//! paid once per pass, and each region's schedule is bitwise-identical to
+//! a solo run with its block share.
 //!
 //! `verify` runs the independent verification layer (`sched-verify`): it
 //! lints the region and the ACO configuration, schedules the region with
@@ -42,6 +49,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   gpu-aco-cli schedule <region.txt> [--scheduler amd|cp|luc|seq|par|host|exact]
                        [--seed N] [--blocks N] [--unit-aprp] [--dot <out.dot>]
+  gpu-aco-cli schedule <region.txt>... --batch [--seed N] [--blocks N] [--unit-aprp]
   gpu-aco-cli generate <pattern> <size> [--seed N]
       patterns: reduction scan transform vector stencil sort gather random mixed
   gpu-aco-cli inspect <region.txt>
@@ -66,6 +74,22 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// The non-flag arguments, skipping the values of value-taking flags.
+fn positional_args<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+        } else if value_flags.contains(&a.as_str()) {
+            skip = true;
+        } else if !a.starts_with("--") {
+            out.push(a);
+        }
+    }
+    out
+}
+
 fn load_region(path: &str) -> Result<Ddg, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     textir::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
@@ -88,6 +112,9 @@ fn print_schedule(ddg: &Ddg, schedule: &Schedule) {
 }
 
 fn schedule(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--batch") {
+        return schedule_batched(args);
+    }
     let path = args.first().ok_or("schedule needs a region file")?;
     let ddg = load_region(path)?;
     let occ = if args.iter().any(|a| a == "--unit-aprp") {
@@ -195,6 +222,82 @@ fn schedule(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {out}");
     }
+    Ok(())
+}
+
+/// `schedule ... --batch`: one cooperative launch pair for all the regions.
+fn schedule_batched(args: &[String]) -> Result<(), String> {
+    use gpu_aco::scheduler::batch_block_split;
+
+    let paths = positional_args(args, &["--scheduler", "--seed", "--blocks", "--dot"]);
+    if paths.is_empty() {
+        return Err("schedule --batch needs at least one region file".into());
+    }
+    let occ = if args.iter().any(|a| a == "--unit-aprp") {
+        OccupancyModel::unit()
+    } else {
+        OccupancyModel::vega_like()
+    };
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--seed must be an integer")?
+        .unwrap_or(0);
+    let blocks: u32 = flag_value(args, "--blocks")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--blocks must be an integer")?
+        .unwrap_or(32);
+    if paths.len() as u32 > blocks {
+        return Err(format!(
+            "a batch of {} regions oversubscribes the {blocks}-block colony; \
+             pass fewer regions or raise --blocks",
+            paths.len()
+        ));
+    }
+    let cfg = AcoConfig {
+        blocks,
+        ..AcoConfig::paper(seed)
+    };
+
+    let regions: Vec<Ddg> = paths
+        .iter()
+        .map(|p| load_region(p))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&Ddg> = regions.iter().collect();
+    let batch = ParallelScheduler::new(cfg).schedule_batch(&refs, &occ);
+    let split = batch_block_split(blocks, refs.len() as u32);
+
+    println!(
+        "batched parallel ACO: {} regions, {blocks}-block colony split {split:?}",
+        refs.len()
+    );
+    for (pos, (path, outcome)) in paths.iter().zip(&batch.outcomes).enumerate() {
+        let r = &outcome.result;
+        r.schedule
+            .validate(&regions[pos])
+            .map_err(|e| format!("internal error: invalid schedule for {path}: {e}"))?;
+        println!(
+            "  {path}: {} instructions in {} cycles, VGPR PRP {}, occupancy {} \
+             ({} blocks, {} + {} iterations)",
+            regions[pos].len(),
+            r.length,
+            r.prp[0],
+            r.occupancy,
+            split[pos],
+            r.pass1.iterations,
+            r.pass2.iterations,
+        );
+    }
+    let saving = if batch.individual_us > 0.0 {
+        100.0 * (batch.individual_us - batch.batched_us) / batch.individual_us
+    } else {
+        0.0
+    };
+    println!(
+        "modeled GPU time: batched {:.1} us vs {:.1} us individually ({saving:.1}% saved)",
+        batch.batched_us, batch.individual_us
+    );
     Ok(())
 }
 
