@@ -112,6 +112,10 @@ pub struct Pass2Result {
 
 /// Selects the next instruction with the Ant Colony System rule:
 /// exploit (argmax of τ·η^β) or explore (roulette proportional to τ·η^β).
+///
+/// `weights` is a caller-owned scratch buffer (capacity ≥ the region size)
+/// so the hot loop never allocates; each candidate is scored exactly once
+/// into it, then the roulette or argmax scan reads the buffer.
 #[allow(clippy::too_many_arguments)]
 fn select(
     rng: &mut SmallRng,
@@ -122,14 +126,16 @@ fn select(
     pressure: &PressureTracker<'_>,
     beta: f64,
     explore: bool,
+    weights: &mut Vec<f64>,
 ) -> usize {
     debug_assert!(!candidates.is_empty());
     if candidates.len() == 1 {
         return 0;
     }
     let score = |id: InstrId| pheromone.get(last, id) * pow_beta(eval.eta(id, pressure), beta);
+    weights.clear();
+    weights.extend(candidates.iter().map(|&c| score(c)));
     if explore {
-        let weights: Vec<f64> = candidates.iter().map(|&c| score(c)).collect();
         let total: f64 = weights.iter().sum();
         if total <= 0.0 || !total.is_finite() {
             return rng.gen_range(0..candidates.len());
@@ -145,10 +151,9 @@ fn select(
     } else {
         let mut best = 0;
         let mut best_score = f64::NEG_INFINITY;
-        for (i, &c) in candidates.iter().enumerate() {
-            let s = score(c);
-            if s > best_score {
-                best_score = s;
+        for (i, &w) in weights.iter().enumerate() {
+            if w > best_score {
+                best_score = w;
                 best = i;
             }
         }
@@ -169,6 +174,11 @@ fn pow_beta(eta: f64, beta: f64) -> f64 {
 }
 
 /// A pass-1 ant: builds a latency-free order minimizing APRP cost.
+///
+/// All working buffers (ready list, order, roulette weights) are reserved
+/// at region capacity on construction, so a [`Pass1Ant::reset`] +
+/// construction cycle performs **zero heap allocations** — ants are meant
+/// to be reused across a whole pass.
 #[derive(Debug, Clone)]
 pub struct Pass1Ant<'a> {
     rng: SmallRng,
@@ -179,11 +189,14 @@ pub struct Pass1Ant<'a> {
     order: Vec<InstrId>,
     last: Option<InstrId>,
     ops: u64,
+    weights: Vec<f64>,
 }
 
 impl<'a> Pass1Ant<'a> {
     /// Creates an ant with its own RNG stream.
     pub fn new(ctx: &AntContext<'a>, heuristic: Heuristic, seed: u64) -> Pass1Ant<'a> {
+        let mut ready = Vec::with_capacity(ctx.ddg.len());
+        ready.extend(ctx.ddg.roots());
         Pass1Ant {
             rng: SmallRng::seed_from_u64(seed),
             heuristic,
@@ -193,14 +206,16 @@ impl<'a> Pass1Ant<'a> {
                 .ids()
                 .map(|i| ctx.ddg.preds(i).len() as u32)
                 .collect(),
-            ready: ctx.ddg.roots().collect(),
+            ready,
             order: Vec::with_capacity(ctx.ddg.len()),
             last: None,
             ops: 0,
+            weights: Vec::with_capacity(ctx.ddg.len()),
         }
     }
 
     /// Resets for a new construction (new iteration), reseeding the RNG.
+    /// Op accounting is cumulative across resets; read it once per pass.
     pub fn reset(&mut self, ctx: &AntContext<'a>, seed: u64) {
         self.rng = SmallRng::seed_from_u64(seed);
         self.pressure.reset();
@@ -211,6 +226,13 @@ impl<'a> Pass1Ant<'a> {
         self.ready.extend(ctx.ddg.roots());
         self.order.clear();
         self.last = None;
+    }
+
+    /// [`Pass1Ant::reset`] plus a new guiding heuristic, so one ant can be
+    /// reused across wavefronts with rotating heuristics.
+    pub fn reset_with(&mut self, ctx: &AntContext<'a>, heuristic: Heuristic, seed: u64) {
+        self.heuristic = heuristic;
+        self.reset(ctx, seed);
     }
 
     /// Whether the order is complete.
@@ -244,6 +266,7 @@ impl<'a> Pass1Ant<'a> {
             &self.pressure,
             ctx.cfg.beta,
             explored,
+            &mut self.weights,
         );
         let id = self.ready.swap_remove(pos);
         self.pressure.issue(id);
@@ -275,6 +298,9 @@ impl<'a> Pass1Ant<'a> {
 
     /// The completed result.
     ///
+    /// Clones the order; in a reduction, compare [`Pass1Ant::cost`] first
+    /// and materialize only the winner.
+    ///
     /// # Panics
     ///
     /// Panics (debug) if the order is not complete.
@@ -286,6 +312,22 @@ impl<'a> Pass1Ant<'a> {
             prp,
             cost: ctx.occ.rp_cost(prp),
         }
+    }
+
+    /// APRP cost of the completed order, without materializing anything.
+    pub fn cost(&self, ctx: &AntContext<'a>) -> u64 {
+        debug_assert!(self.finished(ctx));
+        ctx.occ.rp_cost(self.pressure.peak())
+    }
+
+    /// The constructed order so far (complete once [`Pass1Ant::finished`]).
+    pub fn order(&self) -> &[InstrId] {
+        &self.order
+    }
+
+    /// Peak pressure of the order so far.
+    pub fn prp(&self) -> [u32; REG_CLASS_COUNT] {
+        self.pressure.peak()
     }
 
     /// Abstract operations executed so far (CPU cost accounting).
@@ -309,6 +351,11 @@ enum Phase {
 
 /// A pass-2 ant: builds a timed schedule with stalls under a hard pressure
 /// constraint.
+///
+/// Like [`Pass1Ant`], every working buffer is reserved at region capacity
+/// on construction so a reset + construction cycle allocates nothing;
+/// [`Pass2Ant::result`] is the only allocating call and is meant to run
+/// only for iteration winners.
 #[derive(Debug, Clone)]
 pub struct Pass2Ant<'a> {
     rng: SmallRng,
@@ -328,6 +375,7 @@ pub struct Pass2Ant<'a> {
     phase: Phase,
     ops: u64,
     issuable_buf: Vec<InstrId>,
+    weights: Vec<f64>,
 }
 
 impl<'a> Pass2Ant<'a> {
@@ -340,6 +388,8 @@ impl<'a> Pass2Ant<'a> {
         target_cost: u64,
         allow_optional_stalls: bool,
     ) -> Pass2Ant<'a> {
+        let mut ready = Vec::with_capacity(ctx.ddg.len());
+        ready.extend(ctx.ddg.roots().map(|i| (i, 0)));
         Pass2Ant {
             rng: SmallRng::seed_from_u64(seed),
             heuristic,
@@ -351,7 +401,7 @@ impl<'a> Pass2Ant<'a> {
                 .ids()
                 .map(|i| ctx.ddg.preds(i).len() as u32)
                 .collect(),
-            ready: ctx.ddg.roots().map(|i| (i, 0)).collect(),
+            ready,
             cycles: vec![0; ctx.ddg.len()],
             order: Vec::with_capacity(ctx.ddg.len()),
             now: 0,
@@ -360,18 +410,21 @@ impl<'a> Pass2Ant<'a> {
             stall_budget_override: None,
             phase: Phase::Running,
             ops: 0,
-            issuable_buf: Vec::new(),
+            issuable_buf: Vec::with_capacity(ctx.ddg.len()),
+            weights: Vec::with_capacity(ctx.ddg.len()),
         }
     }
 
     /// Overrides the optional-stall budget (the host-side greedy input
     /// constructions stall freely; wavefront ants use the configured
-    /// fraction of the region size).
+    /// fraction of the region size). Survives [`Pass2Ant::reset`].
     pub fn set_stall_budget(&mut self, budget: u32) {
         self.stall_budget_override = Some(budget);
     }
 
-    /// Resets for a new construction, reseeding the RNG.
+    /// Resets for a new construction, reseeding the RNG. The target cost,
+    /// stall-budget override, and op accounting are kept; ops accumulate
+    /// across resets, so read them once per pass.
     pub fn reset(&mut self, ctx: &AntContext<'a>, seed: u64) {
         self.rng = SmallRng::seed_from_u64(seed);
         self.pressure.reset();
@@ -386,6 +439,21 @@ impl<'a> Pass2Ant<'a> {
         self.last = None;
         self.optional_stalls = 0;
         self.phase = Phase::Running;
+    }
+
+    /// [`Pass2Ant::reset`] plus a new guiding heuristic and stall
+    /// permission, so one ant can be reused across a colony where both
+    /// rotate (per ant on the host, per wavefront on the GPU).
+    pub fn reset_with(
+        &mut self,
+        ctx: &AntContext<'a>,
+        heuristic: Heuristic,
+        seed: u64,
+        allow_optional_stalls: bool,
+    ) {
+        self.heuristic = heuristic;
+        self.allow_optional_stalls = allow_optional_stalls;
+        self.reset(ctx, seed);
     }
 
     /// Whether the ant is still constructing.
@@ -525,6 +593,7 @@ impl<'a> Pass2Ant<'a> {
             &self.pressure,
             ctx.cfg.beta,
             explored,
+            &mut self.weights,
         );
         let id = self.issuable_buf[pos];
         let ready_pos = self
@@ -578,6 +647,9 @@ impl<'a> Pass2Ant<'a> {
 
     /// The completed result.
     ///
+    /// Clones the cycles and order; in a reduction, compare
+    /// [`Pass2Ant::length`] first and materialize only the winner.
+    ///
     /// # Panics
     ///
     /// Panics if the ant has not finished.
@@ -590,6 +662,32 @@ impl<'a> Pass2Ant<'a> {
             prp: self.pressure.peak(),
             schedule,
         }
+    }
+
+    /// Length of the completed schedule, without materializing it. Equal
+    /// to what [`Pass2Ant::result`]'s schedule would report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ant has not finished.
+    pub fn length(&self) -> Cycle {
+        assert!(self.finished(), "length of an unfinished pass-2 ant");
+        self.cycles.iter().max().map_or(0, |&m| m + 1)
+    }
+
+    /// The issue order so far (complete once [`Pass2Ant::finished`]).
+    pub fn order(&self) -> &[InstrId] {
+        &self.order
+    }
+
+    /// Per-instruction issue cycles (dense, indexed by instruction).
+    pub fn cycles(&self) -> &[Cycle] {
+        &self.cycles
+    }
+
+    /// Peak pressure of the construction so far.
+    pub fn prp(&self) -> [u32; REG_CLASS_COUNT] {
+        self.pressure.peak()
     }
 
     /// Abstract operations executed so far.

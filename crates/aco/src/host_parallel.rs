@@ -23,19 +23,66 @@ use parking_lot::Mutex;
 use reg_pressure::RegUniverse;
 use sched_ir::{Cycle, Ddg, InstrId, Schedule};
 
-/// Winner candidate: `(objective, colony index, order, schedule)`.
-type Candidate = (u64, u32, Vec<InstrId>, Option<Schedule>);
+/// Pass-1 winner slot: `(APRP cost, colony index, order)`.
+type Pass1Winner = (u64, u32, Vec<InstrId>);
 
-/// Merges a candidate into the shared winner slot (lower objective wins;
-/// colony index breaks ties so the result is scheduling-independent).
-fn merge(winner: &Mutex<Option<Candidate>>, cand: Candidate) {
-    let mut w = winner.lock();
-    let better = match &*w {
+/// Pass-2 winner slot: `(length, colony index, order, issue cycles)`. The
+/// `Schedule` itself is materialized once, by the caller, from the cycles.
+type Pass2Winner = (u64, u32, Vec<InstrId>, Vec<Cycle>);
+
+/// Whether `(objective, colony index)` beats the current winner. Lower
+/// objective wins; the colony index breaks ties so the result is
+/// independent of thread scheduling.
+fn beats(current: Option<(u64, u32)>, objective: u64, idx: u32) -> bool {
+    match current {
         None => true,
-        Some((cost, idx, _, _)) => cand.0 < *cost || (cand.0 == *cost && cand.1 < *idx),
-    };
-    if better {
-        *w = Some(cand);
+        Some((cost, i)) => objective < cost || (objective == cost && idx < i),
+    }
+}
+
+/// Merges a pass-1 candidate into the shared winner slot. The comparison
+/// runs under the lock *before* any materialization: losing ants copy
+/// nothing, and a winning ant's order is copied into the slot's existing
+/// buffer rather than freshly allocated.
+fn merge_pass1(winner: &Mutex<Option<Pass1Winner>>, cost: u64, idx: u32, order: &[InstrId]) {
+    let mut w = winner.lock();
+    if !beats(w.as_ref().map(|(c, i, _)| (*c, *i)), cost, idx) {
+        return;
+    }
+    match &mut *w {
+        Some((c, i, ord)) => {
+            *c = cost;
+            *i = idx;
+            ord.clear();
+            ord.extend_from_slice(order);
+        }
+        slot => *slot = Some((cost, idx, order.to_vec())),
+    }
+}
+
+/// Merges a pass-2 candidate into the shared winner slot; same
+/// compare-before-materialize discipline as [`merge_pass1`].
+fn merge_pass2(
+    winner: &Mutex<Option<Pass2Winner>>,
+    length: u64,
+    idx: u32,
+    order: &[InstrId],
+    cycles: &[Cycle],
+) {
+    let mut w = winner.lock();
+    if !beats(w.as_ref().map(|(l, i, _, _)| (*l, *i)), length, idx) {
+        return;
+    }
+    match &mut *w {
+        Some((l, i, ord, cyc)) => {
+            *l = length;
+            *i = idx;
+            ord.clear();
+            ord.extend_from_slice(order);
+            cyc.clear();
+            cyc.extend_from_slice(cycles);
+        }
+        slot => *slot = Some((length, idx, order.to_vec(), cycles.to_vec())),
     }
 }
 
@@ -139,20 +186,19 @@ impl HostParallelScheduler {
         let gate = self.cfg.pass2_gate_cycles.max(1) as Cycle;
         if best_length >= len_lb + gate {
             pheromone.reset();
+            let mut greedy = Pass2Ant::new(&ctx, self.cfg.heuristic, 0, target_cost, true);
+            greedy.set_stall_budget(u32::MAX);
             for h in Heuristic::ALL {
-                let mut greedy = Pass2Ant::new(&ctx, h, 0, target_cost, true);
-                greedy.set_stall_budget(u32::MAX);
+                greedy.reset_with(&ctx, h, 0, true);
                 while matches!(
                     greedy.step(&ctx, &pheromone, Some(false)),
                     Pass2Step::Issued { .. } | Pass2Step::Stalled { .. }
                 ) {}
-                if greedy.finished() {
+                if greedy.finished() && greedy.length() < best_length {
                     let g = greedy.result();
-                    if g.length < best_length {
-                        best_length = g.length;
-                        best_schedule = g.schedule;
-                        best_final_order = g.order;
-                    }
+                    best_length = g.length;
+                    best_schedule = g.schedule;
+                    best_final_order = g.order;
                 }
             }
             let budget = self.cfg.termination.budget(ddg.len());
@@ -163,18 +209,18 @@ impl HostParallelScheduler {
                     self.run_pass2_iteration(&ctx, &pheromone, pass2.iterations, target_cost);
                 pheromone.evaporate(self.cfg.decay, self.cfg.tau_min);
                 let improved = match winner {
-                    Some((wlen, _, worder, Some(wsched))) => {
+                    Some((wlen, _, worder, wcycles)) => {
                         pheromone.deposit_order(&worder, self.cfg.deposit, self.cfg.tau_max);
                         if (wlen as Cycle) < best_length {
                             best_length = wlen as Cycle;
-                            best_schedule = wsched;
+                            best_schedule = Schedule::from_cycles(wcycles);
                             best_final_order = worder;
                             true
                         } else {
                             false
                         }
                     }
-                    _ => false,
+                    None => false,
                 };
                 if improved {
                     pass2.improved = true;
@@ -213,13 +259,18 @@ impl HostParallelScheduler {
     }
 
     /// Runs one pass-1 iteration's ants across threads; returns the winner.
+    ///
+    /// Each thread reuses a single [`Pass1Ant`] across its whole chunk of
+    /// the colony, and losing ants never clone their order — candidates
+    /// are compared under the merge lock first (cost + colony index) and
+    /// only an improving ant's order is copied into the slot.
     fn run_pass1_iteration(
         &self,
         ctx: &AntContext<'_>,
         pheromone: &PheromoneTable,
         iteration: u32,
     ) -> Option<(u64, Vec<InstrId>)> {
-        let winner: Mutex<Option<Candidate>> = Mutex::new(None);
+        let winner: Mutex<Option<Pass1Winner>> = Mutex::new(None);
         let total = self.cfg.sequential_ants;
         let chunk = (total as usize).div_ceil(self.threads) as u32;
         crossbeam::scope(|scope| {
@@ -228,31 +279,35 @@ impl HostParallelScheduler {
                 scope.spawn(move |_| {
                     let lo = t * chunk;
                     let hi = (lo + chunk).min(total);
+                    if lo >= hi {
+                        return;
+                    }
+                    let mut ant = Pass1Ant::new(ctx, ctx.cfg.heuristic, 0);
                     for a in lo..hi {
-                        let mut ant = Pass1Ant::new(
-                            ctx,
-                            ctx.cfg.heuristic,
-                            ant_seed(ctx.cfg.seed, 1, iteration, a),
-                        );
-                        let r = ant.run(ctx, pheromone);
-                        merge(winner, (r.cost, a, r.order, None));
+                        ant.reset(ctx, ant_seed(ctx.cfg.seed, 1, iteration, a));
+                        while !ant.finished(ctx) {
+                            ant.step(ctx, pheromone, None);
+                        }
+                        merge_pass1(winner, ant.cost(ctx), a, ant.order());
                     }
                 });
             }
         })
         .expect("ant threads never panic");
-        winner.into_inner().map(|(c, _, o, _)| (c, o))
+        winner.into_inner().map(|(c, _, o)| (c, o))
     }
 
     /// Runs one pass-2 iteration's ants across threads; returns the winner.
+    /// Same single-ant-per-thread, compare-before-materialize scheme as
+    /// [`HostParallelScheduler::run_pass1_iteration`].
     fn run_pass2_iteration(
         &self,
         ctx: &AntContext<'_>,
         pheromone: &PheromoneTable,
         iteration: u32,
         target_cost: u64,
-    ) -> Option<Candidate> {
-        let winner: Mutex<Option<Candidate>> = Mutex::new(None);
+    ) -> Option<Pass2Winner> {
+        let winner: Mutex<Option<Pass2Winner>> = Mutex::new(None);
         let total = self.cfg.sequential_ants;
         let chunk = (total as usize).div_ceil(self.threads) as u32;
         crossbeam::scope(|scope| {
@@ -261,19 +316,24 @@ impl HostParallelScheduler {
                 scope.spawn(move |_| {
                     let lo = t * chunk;
                     let hi = (lo + chunk).min(total);
+                    if lo >= hi {
+                        return;
+                    }
+                    let mut ant = Pass2Ant::new(ctx, ctx.cfg.heuristic, 0, target_cost, true);
                     for a in lo..hi {
                         // Heuristic varies across the colony as across
                         // wavefront groups.
                         let h = Heuristic::ALL[a as usize % Heuristic::ALL.len()];
-                        let mut ant = Pass2Ant::new(
-                            ctx,
-                            h,
-                            ant_seed(ctx.cfg.seed, 2, iteration, a),
-                            target_cost,
-                            true,
-                        );
-                        if let Some(r) = ant.run(ctx, pheromone) {
-                            merge(winner, (r.length as u64, a, r.order, Some(r.schedule)));
+                        ant.reset_with(ctx, h, ant_seed(ctx.cfg.seed, 2, iteration, a), true);
+                        let finished = loop {
+                            match ant.step(ctx, pheromone, None) {
+                                Pass2Step::Died => break false,
+                                Pass2Step::Finished => break true,
+                                Pass2Step::Issued { .. } | Pass2Step::Stalled { .. } => {}
+                            }
+                        };
+                        if finished {
+                            merge_pass2(winner, ant.length() as u64, a, ant.order(), ant.cycles());
                         }
                     }
                 });

@@ -304,6 +304,12 @@ impl ParallelScheduler {
         let lanes = self.cfg.threads_per_block;
         let layout = self.cfg.tuning.layout;
 
+        // One persistent lane of ants, reset per wavefront: the simulated
+        // kernel allocates its per-thread state once per launch, not once
+        // per wavefront per iteration.
+        let mut ants: Vec<Pass1Ant<'_>> = (0..lanes)
+            .map(|_| Pass1Ant::new(ctx, self.cfg.heuristic, 0))
+            .collect();
         while stats.iterations < self.cfg.termination.max_iterations {
             stats.iterations += 1;
             let mut winner: Option<(u64, Vec<InstrId>)> = None;
@@ -317,15 +323,13 @@ impl ParallelScheduler {
                     w,
                 ));
                 let h = self.wavefront_heuristic(w);
-                let mut ants: Vec<Pass1Ant<'_>> = (0..lanes)
-                    .map(|l| {
-                        Pass1Ant::new(
-                            ctx,
-                            h,
-                            ant_seed(self.cfg.seed, 1, stats.iterations, w * lanes + l),
-                        )
-                    })
-                    .collect();
+                for (l, ant) in ants.iter_mut().enumerate() {
+                    ant.reset_with(
+                        ctx,
+                        h,
+                        ant_seed(self.cfg.seed, 1, stats.iterations, w * lanes + l as u32),
+                    );
+                }
                 for _step in 0..n {
                     let scan_max = ants.iter().map(|a| a.ready_len() as u64).max().unwrap_or(0);
                     let (explored, mixed) = if self.cfg.tuning.wavefront_level_choice {
@@ -356,10 +360,26 @@ impl ParallelScheduler {
                     wf.uniform(succ_max * 2);
                     self.state_accesses(&mut wf, scan_max + succ_max, lanes, layout);
                 }
-                for ant in &ants {
-                    let r = ant.result(ctx);
-                    if winner.as_ref().is_none_or(|(c, _)| r.cost < *c) {
-                        winner = Some((r.cost, r.order));
+                // Reduce to the wavefront's first minimum-cost lane, then
+                // materialize the order only if it beats the running
+                // winner — losing lanes clone nothing.
+                let mut wf_best: Option<(u64, usize)> = None;
+                for (l, ant) in ants.iter().enumerate() {
+                    let cost = ant.cost(ctx);
+                    if wf_best.is_none_or(|(c, _)| cost < c) {
+                        wf_best = Some((cost, l));
+                    }
+                }
+                if let Some((cost, l)) = wf_best {
+                    if winner.as_ref().is_none_or(|(c, _)| cost < *c) {
+                        match &mut winner {
+                            Some((c, ord)) => {
+                                *c = cost;
+                                ord.clear();
+                                ord.extend_from_slice(ants[l].order());
+                            }
+                            slot => *slot = Some((cost, ants[l].order().to_vec())),
+                        }
                     }
                 }
                 self.update_stage_cost(ctx, &mut wf);
@@ -412,20 +432,19 @@ impl ParallelScheduler {
         // Host-side constraint-respecting greedies seed the ILP pass (the
         // same deterministic exploit-only constructions the sequential
         // scheduler uses); different heuristics survive different binds.
+        let mut greedy = Pass2Ant::new(ctx, self.cfg.heuristic, 0, target_cost, true);
+        greedy.set_stall_budget(u32::MAX);
         for h in Heuristic::ALL {
-            let mut greedy = Pass2Ant::new(ctx, h, 0, target_cost, true);
-            greedy.set_stall_budget(u32::MAX);
+            greedy.reset_with(ctx, h, 0, true);
             while matches!(
                 greedy.step(ctx, &pheromone, Some(false)),
                 Pass2Step::Issued { .. } | Pass2Step::Stalled { .. }
             ) {}
-            if greedy.finished() {
+            if greedy.finished() && greedy.length() < *best_length {
                 let g = greedy.result();
-                if g.length < *best_length {
-                    *best_length = g.length;
-                    *best_schedule = g.schedule;
-                    *best_order = g.order;
-                }
+                *best_length = g.length;
+                *best_schedule = g.schedule;
+                *best_order = g.order;
             }
         }
         let budget = self.cfg.termination.budget(ctx.ddg.len());
@@ -437,9 +456,15 @@ impl ParallelScheduler {
         let layout = self.cfg.tuning.layout;
         let round_cap = 4 * ctx.ddg.len() as u64 + 64;
 
+        // One persistent lane of ants, reset per wavefront (heuristic and
+        // stall permission rotate per wavefront; the target cost is fixed
+        // for the whole launch).
+        let mut ants: Vec<Pass2Ant<'_>> = (0..lanes)
+            .map(|_| Pass2Ant::new(ctx, self.cfg.heuristic, 0, target_cost, true))
+            .collect();
         while stats.iterations < self.cfg.termination.max_iterations {
             stats.iterations += 1;
-            let mut winner: Option<(Cycle, Vec<InstrId>, Schedule)> = None;
+            let mut winner: Option<(Cycle, Vec<InstrId>, Vec<Cycle>)> = None;
             let mut iter_wf_cycles = Vec::with_capacity(self.cfg.blocks as usize);
             for w in 0..self.cfg.blocks {
                 let mut wf = WavefrontCost::new(&self.spec);
@@ -451,17 +476,14 @@ impl ParallelScheduler {
                 ));
                 let h = self.wavefront_heuristic(w);
                 let may_stall = self.wavefront_may_stall(w);
-                let mut ants: Vec<Pass2Ant<'_>> = (0..lanes)
-                    .map(|l| {
-                        Pass2Ant::new(
-                            ctx,
-                            h,
-                            ant_seed(self.cfg.seed, 2, stats.iterations, w * lanes + l),
-                            target_cost,
-                            may_stall,
-                        )
-                    })
-                    .collect();
+                for (l, ant) in ants.iter_mut().enumerate() {
+                    ant.reset_with(
+                        ctx,
+                        h,
+                        ant_seed(self.cfg.seed, 2, stats.iterations, w * lanes + l as u32),
+                        may_stall,
+                    );
+                }
                 let mut rounds = 0u64;
                 while ants.iter().any(|a| a.running()) && rounds < round_cap {
                     rounds += 1;
@@ -543,11 +565,31 @@ impl ParallelScheduler {
                         break;
                     }
                 }
-                for ant in &ants {
+                // First minimum-length finisher of the wavefront, then
+                // materialize only on global improvement.
+                let mut wf_best: Option<(Cycle, usize)> = None;
+                for (l, ant) in ants.iter().enumerate() {
                     if ant.finished() {
-                        let r = ant.result();
-                        if winner.as_ref().is_none_or(|(l, _, _)| r.length < *l) {
-                            winner = Some((r.length, r.order, r.schedule));
+                        let len = ant.length();
+                        if wf_best.is_none_or(|(bl, _)| len < bl) {
+                            wf_best = Some((len, l));
+                        }
+                    }
+                }
+                if let Some((len, l)) = wf_best {
+                    if winner.as_ref().is_none_or(|(wl, _, _)| len < *wl) {
+                        match &mut winner {
+                            Some((wl, ord, cyc)) => {
+                                *wl = len;
+                                ord.clear();
+                                ord.extend_from_slice(ants[l].order());
+                                cyc.clear();
+                                cyc.extend_from_slice(ants[l].cycles());
+                            }
+                            slot => {
+                                *slot =
+                                    Some((len, ants[l].order().to_vec(), ants[l].cycles().to_vec()))
+                            }
                         }
                     }
                 }
@@ -560,11 +602,11 @@ impl ParallelScheduler {
 
             pheromone.evaporate(self.cfg.decay, self.cfg.tau_min);
             let improved = match winner {
-                Some((wlen, worder, wsched)) => {
+                Some((wlen, worder, wcycles)) => {
                     pheromone.deposit_order(&worder, self.cfg.deposit, self.cfg.tau_max);
                     if wlen < *best_length {
                         *best_length = wlen;
-                        *best_schedule = wsched;
+                        *best_schedule = Schedule::from_cycles(wcycles);
                         *best_order = worder;
                         true
                     } else {

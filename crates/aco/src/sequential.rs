@@ -2,7 +2,7 @@
 //! which the paper parallelizes.
 
 use crate::config::AcoConfig;
-use crate::construct::{AntContext, Pass1Ant, Pass2Ant};
+use crate::construct::{AntContext, Pass1Ant, Pass2Ant, Pass2Step};
 use crate::pheromone::PheromoneTable;
 use crate::result::{AcoResult, PassStats};
 use gpu_sim::CpuSpec;
@@ -121,23 +121,31 @@ impl SequentialScheduler {
             let budget = self.cfg.termination.budget(ddg.len());
             let mut no_improve = 0u32;
             let mut ant = Pass1Ant::new(&ctx, self.cfg.heuristic, 0);
+            // Reusable winner buffer: losing ants are never materialized,
+            // and the iteration winner is copied, not reallocated.
+            let mut winner_order: Vec<InstrId> = Vec::with_capacity(ddg.len());
             while pass1.iterations < self.cfg.termination.max_iterations {
                 pass1.iterations += 1;
-                let mut winner: Option<(u64, Vec<InstrId>)> = None;
+                let mut winner_cost: Option<u64> = None;
                 for a in 0..self.cfg.sequential_ants {
                     ant.reset(&ctx, ant_seed(self.cfg.seed, 1, pass1.iterations, a));
-                    let r = ant.run(&ctx, &pheromone);
-                    if winner.as_ref().is_none_or(|(c, _)| r.cost < *c) {
-                        winner = Some((r.cost, r.order));
+                    while !ant.finished(&ctx) {
+                        ant.step(&ctx, &pheromone, None);
+                    }
+                    let cost = ant.cost(&ctx);
+                    if winner_cost.is_none_or(|c| cost < c) {
+                        winner_cost = Some(cost);
+                        winner_order.clear();
+                        winner_order.extend_from_slice(ant.order());
                     }
                 }
-                let (wcost, worder) = winner.expect("at least one ant per iteration");
+                let wcost = winner_cost.expect("at least one ant per iteration");
                 pheromone.evaporate(self.cfg.decay, self.cfg.tau_min);
-                pheromone.deposit_order(&worder, self.cfg.deposit, self.cfg.tau_max);
+                pheromone.deposit_order(&winner_order, self.cfg.deposit, self.cfg.tau_max);
                 total_ops += pheromone.entries() as u64 * OPS_PER_PHEROMONE_ENTRY;
                 if wcost < best_cost {
                     best_cost = wcost;
-                    best_order = worder;
+                    best_order.clone_from(&winner_order);
                     pass1.improved = true;
                     no_improve = 0;
                 } else {
@@ -174,37 +182,54 @@ impl SequentialScheduler {
             let budget = self.cfg.termination.budget(ddg.len());
             let mut no_improve = 0u32;
             let mut rng = SmallRng::seed_from_u64(ant_seed(self.cfg.seed, 2, 0, 0));
+            // One reusable ant for the whole pass (its ops accumulate
+            // across resets and are charged once after the loop), plus
+            // winner buffers so losing ants never materialize their
+            // order or schedule.
+            let mut ant = Pass2Ant::new(&ctx, self.cfg.heuristic, 0, target_cost, true);
+            let mut winner_order: Vec<InstrId> = Vec::with_capacity(ddg.len());
+            let mut winner_cycles: Vec<Cycle> = Vec::with_capacity(ddg.len());
             while pass2.iterations < self.cfg.termination.max_iterations {
                 pass2.iterations += 1;
-                let mut winner: Option<(Cycle, Vec<InstrId>, Schedule)> = None;
+                let mut winner_len: Option<Cycle> = None;
                 for a in 0..self.cfg.sequential_ants {
                     // In the sequential algorithm the guiding heuristic is
                     // varied across ants the same way the parallel one
                     // varies it across wavefronts.
                     let h = Heuristic::ALL[rng.gen_range(0..Heuristic::ALL.len())];
-                    let mut ant = Pass2Ant::new(
+                    ant.reset_with(
                         &ctx,
                         h,
                         ant_seed(self.cfg.seed, 2, pass2.iterations, a),
-                        target_cost,
                         true,
                     );
-                    if let Some(r) = ant.run(&ctx, &pheromone) {
-                        if winner.as_ref().is_none_or(|(l, _, _)| r.length < *l) {
-                            winner = Some((r.length, r.order, r.schedule));
+                    let finished = loop {
+                        match ant.step(&ctx, &pheromone, None) {
+                            Pass2Step::Died => break false,
+                            Pass2Step::Finished => break true,
+                            Pass2Step::Issued { .. } | Pass2Step::Stalled { .. } => {}
+                        }
+                    };
+                    if finished {
+                        let len = ant.length();
+                        if winner_len.is_none_or(|l| len < l) {
+                            winner_len = Some(len);
+                            winner_order.clear();
+                            winner_order.extend_from_slice(ant.order());
+                            winner_cycles.clear();
+                            winner_cycles.extend_from_slice(ant.cycles());
                         }
                     }
-                    total_ops += ant.ops();
                 }
                 pheromone.evaporate(self.cfg.decay, self.cfg.tau_min);
                 total_ops += pheromone.entries() as u64 * OPS_PER_PHEROMONE_ENTRY;
-                let improved = match winner {
-                    Some((wlen, worder, wsched)) => {
-                        pheromone.deposit_order(&worder, self.cfg.deposit, self.cfg.tau_max);
+                let improved = match winner_len {
+                    Some(wlen) => {
+                        pheromone.deposit_order(&winner_order, self.cfg.deposit, self.cfg.tau_max);
                         if wlen < best_length {
                             best_length = wlen;
-                            best_schedule = wsched;
-                            best_final_order = worder;
+                            best_schedule = Schedule::from_cycles(winner_cycles.clone());
+                            best_final_order.clone_from(&winner_order);
                             true
                         } else {
                             false
@@ -226,6 +251,7 @@ impl SequentialScheduler {
                     break;
                 }
             }
+            total_ops += ant.ops();
         } else if best_length <= len_lb {
             pass2.hit_lb = true;
         } else {

@@ -1,0 +1,155 @@
+//! Proves the ant construction hot loop is allocation-free: a counting
+//! global allocator observes a full reset + construction cycle for both
+//! pass-1 and pass-2 ants and must see **zero** heap activity.
+//!
+//! The contract under test (see `construct.rs`): every working buffer —
+//! ready list, order, issue cycles, issuable scratch, roulette weights —
+//! is reserved at region capacity when the ant is created, so reusing an
+//! ant across a colony costs no allocator traffic at all. Only
+//! `result()` (winner materialization) may allocate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use aco::{AcoConfig, AntContext, Pass1Ant, Pass2Ant, Pass2Step, PheromoneTable};
+use list_sched::{Heuristic, RegionAnalysis};
+use machine_model::OccupancyModel;
+use reg_pressure::RegUniverse;
+
+thread_local! {
+    static ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts every allocation and reallocation on this thread. Frees are not
+/// counted: the assertion is about acquiring memory mid-loop, and a free
+/// with no matching later alloc cannot hide one.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn events() -> u64 {
+    ALLOC_EVENTS.with(Cell::get)
+}
+
+/// Runs `f` and returns how many allocator events it caused.
+fn count_events<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = events();
+    let r = f();
+    (events() - before, r)
+}
+
+#[test]
+fn pass1_and_pass2_constructions_allocate_nothing() {
+    let ddg = workloads::patterns::sized(120, 13);
+    let analysis = RegionAnalysis::new(&ddg);
+    let universe = RegUniverse::new(&ddg);
+    let occ = OccupancyModel::vega_like();
+    let cfg = AcoConfig::paper(5);
+    let ctx = AntContext {
+        ddg: &ddg,
+        analysis: &analysis,
+        universe: &universe,
+        occ: &occ,
+        cfg: &cfg,
+    };
+    let pheromone = PheromoneTable::new(ddg.len(), cfg.initial_pheromone);
+
+    // ---- Pass 1: the full reset + construction cycle is silent. ----
+    let mut ant1 = Pass1Ant::new(&ctx, cfg.heuristic, 0);
+    // Warm-up run: not measured (first construction may touch lazily
+    // initialized thread state outside the scheduler).
+    ant1.reset(&ctx, 1);
+    while !ant1.finished(&ctx) {
+        ant1.step(&ctx, &pheromone, None);
+    }
+    for (seed, h) in (2..10u64).zip(
+        [Heuristic::ALL, Heuristic::ALL]
+            .concat()
+            .into_iter()
+            .cycle(),
+    ) {
+        let (n, ()) = count_events(|| {
+            ant1.reset_with(&ctx, h, seed);
+            while !ant1.finished(&ctx) {
+                ant1.step(&ctx, &pheromone, None);
+            }
+            let _ = ant1.cost(&ctx);
+            let _ = ant1.order();
+            let _ = ant1.prp();
+        });
+        assert_eq!(n, 0, "pass-1 construction (seed {seed}) hit the allocator");
+    }
+
+    // ---- Pass 2: likewise, across heuristics and stall permissions. ----
+    let target = u64::MAX; // unconstrained: the ant always finishes
+    let mut ant2 = Pass2Ant::new(&ctx, cfg.heuristic, 0, target, true);
+    ant2.reset(&ctx, 1);
+    while ant2.running() {
+        ant2.step(&ctx, &pheromone, None);
+    }
+    for (seed, h) in (2..10u64).zip(
+        [Heuristic::ALL, Heuristic::ALL]
+            .concat()
+            .into_iter()
+            .cycle(),
+    ) {
+        let may_stall = seed % 2 == 0;
+        let (n, finished) = count_events(|| {
+            ant2.reset_with(&ctx, h, seed, may_stall);
+            loop {
+                match ant2.step(&ctx, &pheromone, None) {
+                    Pass2Step::Died => break false,
+                    Pass2Step::Finished => break true,
+                    Pass2Step::Issued { .. } | Pass2Step::Stalled { .. } => {}
+                }
+            }
+        });
+        assert_eq!(n, 0, "pass-2 construction (seed {seed}) hit the allocator");
+        assert!(finished, "unconstrained pass-2 ants cannot die");
+        let (n, ()) = count_events(|| {
+            let _ = ant2.length();
+            let _ = ant2.order();
+            let _ = ant2.cycles();
+            let _ = ant2.prp();
+        });
+        assert_eq!(n, 0, "pass-2 accessors hit the allocator");
+    }
+
+    // Winner materialization is the one place that may allocate.
+    let (n, r) = count_events(|| ant2.result());
+    assert!(n > 0, "result() clones, so it must allocate");
+    r.schedule.validate(&ddg).unwrap();
+}
+
+#[test]
+fn allocator_counter_actually_counts() {
+    let (n, v) = count_events(|| Vec::<u64>::with_capacity(32));
+    assert!(n >= 1, "allocation went uncounted");
+    drop(v);
+    let mut v = Vec::<u64>::with_capacity(2);
+    v.extend_from_slice(&[1, 2]);
+    let (n, ()) = count_events(|| v.extend_from_slice(&[3, 4, 5, 6, 7, 8, 9]));
+    assert!(n >= 1, "reallocation went uncounted");
+}

@@ -1,0 +1,137 @@
+//! `wallclock` — host wall-clock benchmark of suite compilation.
+//!
+//! Measures real host seconds spent in `pipeline::compile_suite` across a
+//! range of `host_threads` values and writes a JSON report (default
+//! `BENCH_wallclock.json`). Invoked by `scripts/bench.sh`.
+//!
+//! ```text
+//! wallclock [--smoke] [--out PATH] [--threads 1,2,4] [--reps N]
+//!           [--seed N] [--scale F] [--scheduler KIND]
+//! ```
+//!
+//! `--smoke` runs a tiny suite and then **gates**: the report must pass
+//! structural schema validation, every repetition must produce the same
+//! result checksum, and on a machine with ≥ 2 cores the best parallel
+//! time must not lose to sequential by more than 10% (wall-clock noise
+//! allowance). Any violation exits non-zero, failing `scripts/check.sh`.
+
+use bench_harness::wallclock::{measure, validate_schema, WallclockReport};
+use pipeline::SchedulerKind;
+
+struct Args {
+    smoke: bool,
+    out: String,
+    threads: Option<Vec<usize>>,
+    reps: usize,
+    seed: u64,
+    scale: f64,
+    scheduler: SchedulerKind,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_wallclock.json".to_string(),
+        threads: None,
+        reps: 3,
+        seed: 5,
+        scale: 0.02,
+        scheduler: SchedulerKind::ParallelAco,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = value("--out"),
+            "--threads" => {
+                let list = value("--threads")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads takes a list like 1,2,4"))
+                    .collect();
+                args.threads = Some(list);
+            }
+            "--reps" => args.reps = value("--reps").parse().expect("--reps takes a number"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed takes a number"),
+            "--scale" => args.scale = value("--scale").parse().expect("--scale takes a float"),
+            "--scheduler" => {
+                let name = value("--scheduler");
+                args.scheduler = SchedulerKind::ALL
+                    .into_iter()
+                    .find(|k| format!("{k:?}").eq_ignore_ascii_case(&name))
+                    .unwrap_or_else(|| panic!("unknown scheduler {name}"));
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+/// Default ladder: 1, 2, 4, ... up to the core count, always ending on it.
+fn default_threads(cores: usize) -> Vec<usize> {
+    let mut t = vec![1usize];
+    let mut n = 2;
+    while n < cores {
+        t.push(n);
+        n *= 2;
+    }
+    if cores > 1 {
+        t.push(cores);
+    }
+    t
+}
+
+fn smoke_gate(report: &WallclockReport, json: &str) {
+    validate_schema(json).unwrap_or_else(|e| panic!("smoke: schema violation: {e}"));
+    assert!(
+        report.checksums_agree(),
+        "smoke: result checksums differ across thread counts"
+    );
+    if report.cores >= 2 {
+        let seq = report
+            .sequential_best_s()
+            .expect("smoke always measures 1 thread");
+        let par = report
+            .parallel_best_s()
+            .expect("smoke always measures >1 thread");
+        assert!(
+            par <= seq * 1.10,
+            "smoke: parallel best {par:.4}s lost to sequential {seq:.4}s \
+             on a {}-core host",
+            report.cores
+        );
+    } else {
+        eprintln!("smoke: single-core host, skipping the parallel<=sequential gate");
+    }
+    eprintln!("smoke: wall-clock gate passed");
+}
+
+fn main() {
+    let mut args = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if args.smoke {
+        args.scale = 0.004;
+        args.reps = args.reps.min(2);
+        args.threads.get_or_insert_with(|| vec![1, 2.max(cores)]);
+    }
+    let threads = args.threads.unwrap_or_else(|| default_threads(cores));
+    let report = measure(args.seed, args.scale, args.scheduler, &threads, args.reps);
+    let json = report.to_json();
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    for s in &report.samples {
+        eprintln!(
+            "host_threads={:<3} best {:.4}s (jobs {:.4}s, merge {:.4}s)",
+            s.threads, s.best.total_s, s.best.jobs_s, s.best.merge_s
+        );
+    }
+    if let Some(sp) = report.speedup() {
+        eprintln!("speedup (best parallel vs 1 thread): {sp:.2}x on {cores} cores");
+    }
+    eprintln!("wrote {}", args.out);
+    if args.smoke {
+        smoke_gate(&report, &json);
+    }
+}

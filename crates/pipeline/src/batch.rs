@@ -14,9 +14,7 @@
 //! only the launch cost model changes.
 
 use crate::config::{BatchingConfig, PipelineConfig};
-use crate::region::{
-    assemble_compilation, compile_region, heuristic_model_time_us, RegionCompilation,
-};
+use crate::region::{assemble_compilation, heuristic_model_time_us, RegionCompilation};
 use aco::{batch_block_split, ParallelScheduler};
 use list_sched::{Heuristic, ListScheduler};
 use machine_model::OccupancyModel;
@@ -38,59 +36,56 @@ pub fn plan_batches(sizes: &[usize], blocks: u32, cfg: &BatchingConfig) -> Vec<V
     eligible.chunks(cap).map(<[usize]>::to_vec).collect()
 }
 
-/// Compiles one kernel in batched mode: plans groups, runs one cooperative
-/// launch pair per group, and assembles per-region compilations whose time
-/// accounting reflects the *batched* launches (each pass's shared cost is
-/// attributed to its regions in proportion to their solo share, so the
-/// per-region times sum to the batched total).
+/// Compiles one planned group of a kernel's regions in a single cooperative
+/// launch pair, assembling per-region compilations whose time accounting
+/// reflects the *batched* launches (each pass's shared cost is attributed
+/// to its regions in proportion to their solo share, so the per-region
+/// times sum to the batched total).
 ///
-/// The observer fires once per region with the split-colony configuration
-/// the region's construction actually ran under, keeping the certification
-/// hook (`sched-verify`) exact for batched schedules too.
-pub(crate) fn compile_kernel_batched<F>(
+/// Pure in its inputs — no observer, no shared state — so the suite
+/// compiler's host worker pool can run groups concurrently. Each returned
+/// entry is `(region index, config, compilation)`, where the config is the
+/// split-colony configuration the region's construction actually ran under;
+/// replaying those tuples in order through the observer keeps the
+/// certification hook (`sched-verify`) exact for batched schedules too.
+pub(crate) fn compile_batch_group(
     kernel: &Kernel,
+    group: &[usize],
     occ: &OccupancyModel,
     cfg: &PipelineConfig,
-    k: usize,
-    observe: &mut F,
-) -> Vec<RegionCompilation>
-where
-    F: FnMut(usize, usize, &Ddg, &PipelineConfig, &RegionCompilation),
-{
-    let sizes: Vec<usize> = kernel.regions.iter().map(Ddg::len).collect();
-    let groups = plan_batches(&sizes, cfg.aco.blocks, &cfg.batching);
-    let mut out: Vec<Option<RegionCompilation>> = vec![None; kernel.regions.len()];
+) -> Vec<(usize, PipelineConfig, RegionCompilation)> {
+    let refs: Vec<&Ddg> = group.iter().map(|&ri| &kernel.regions[ri]).collect();
+    let batch = ParallelScheduler::new(cfg.aco).schedule_batch(&refs, occ);
+    let split = batch_block_split(cfg.aco.blocks, group.len() as u32);
+    // Solo per-pass totals, for proportional attribution of the shared
+    // launch costs.
+    let solo_pass_us = |pass: usize| -> Vec<f64> {
+        batch
+            .outcomes
+            .iter()
+            .map(|o| {
+                if pass == 0 {
+                    o.gpu.pass1_profile.total_us()
+                } else {
+                    o.gpu.pass2_profile.total_us()
+                }
+            })
+            .collect()
+    };
+    let shares = |pass: usize| -> Vec<f64> {
+        let solo = solo_pass_us(pass);
+        let sum: f64 = solo.iter().sum();
+        let shared = batch.pass_profiles[pass].total_us();
+        solo.iter()
+            .map(|&s| if sum > 0.0 { shared * s / sum } else { 0.0 })
+            .collect()
+    };
+    let (p1_shares, p2_shares) = (shares(0), shares(1));
 
-    for group in &groups {
-        let refs: Vec<&Ddg> = group.iter().map(|&ri| &kernel.regions[ri]).collect();
-        let batch = ParallelScheduler::new(cfg.aco).schedule_batch(&refs, occ);
-        let split = batch_block_split(cfg.aco.blocks, group.len() as u32);
-        // Solo per-pass totals, for proportional attribution of the shared
-        // launch costs.
-        let solo_pass_us = |pass: usize| -> Vec<f64> {
-            batch
-                .outcomes
-                .iter()
-                .map(|o| {
-                    if pass == 0 {
-                        o.gpu.pass1_profile.total_us()
-                    } else {
-                        o.gpu.pass2_profile.total_us()
-                    }
-                })
-                .collect()
-        };
-        let shares = |pass: usize| -> Vec<f64> {
-            let solo = solo_pass_us(pass);
-            let sum: f64 = solo.iter().sum();
-            let shared = batch.pass_profiles[pass].total_us();
-            solo.iter()
-                .map(|&s| if sum > 0.0 { shared * s / sum } else { 0.0 })
-                .collect()
-        };
-        let (p1_shares, p2_shares) = (shares(0), shares(1));
-
-        for (pos, &ri) in group.iter().enumerate() {
+    group
+        .iter()
+        .enumerate()
+        .map(|(pos, &ri)| {
             let ddg = &kernel.regions[ri];
             let mut result = batch.outcomes[pos].result.clone();
             result.pass1.time_us = p1_shares[pos];
@@ -106,22 +101,8 @@ where
             );
             let mut region_cfg = *cfg;
             region_cfg.aco.blocks = split[pos];
-            observe(k, ri, ddg, &region_cfg, &c);
-            out[ri] = Some(c);
-        }
-    }
-
-    // Solo fallback for the regions the planner left out.
-    for (ri, slot) in out.iter_mut().enumerate() {
-        if slot.is_none() {
-            let ddg = &kernel.regions[ri];
-            let c = compile_region(ddg, occ, cfg);
-            observe(k, ri, ddg, cfg, &c);
-            *slot = Some(c);
-        }
-    }
-    out.into_iter()
-        .map(|c| c.expect("every region compiled"))
+            (ri, region_cfg, c)
+        })
         .collect()
 }
 
@@ -178,21 +159,21 @@ mod tests {
 
     #[test]
     fn batched_kernel_matches_split_colony_solo_schedules() {
+        use crate::region::compile_region;
         let occ = OccupancyModel::vega_like();
         let kernel = kernel_of_sizes(&[30, 45, 60], 4100);
         let mut cfg = PipelineConfig::paper(SchedulerKind::BatchedParallelAco, 0);
         cfg.aco.blocks = 12;
         cfg.aco.pass2_gate_cycles = 1;
-        let mut observed = Vec::new();
-        let compiled = compile_kernel_batched(&kernel, &occ, &cfg, 0, &mut |_, ri, _, rc, c| {
-            observed.push((ri, rc.aco.blocks, c.clone()));
-        });
-        assert_eq!(compiled.len(), 3);
+        let sizes: Vec<usize> = kernel.regions.iter().map(Ddg::len).collect();
+        let groups = plan_batches(&sizes, cfg.aco.blocks, &cfg.batching);
         // One group of 3 (sizes 30/45/60 sorted: [30, 45, 60]); split 4/4/4.
-        for (ri, blocks, c) in &observed {
-            let mut solo_cfg = cfg;
+        assert_eq!(groups.len(), 1);
+        let outcomes = compile_batch_group(&kernel, &groups[0], &occ, &cfg);
+        assert_eq!(outcomes.len(), 3);
+        for (ri, region_cfg, c) in &outcomes {
+            let mut solo_cfg = *region_cfg;
             solo_cfg.scheduler = SchedulerKind::ParallelAco;
-            solo_cfg.aco.blocks = *blocks;
             let solo = compile_region(&kernel.regions[*ri], &occ, &solo_cfg);
             let (a, s) = (c.aco.as_ref().unwrap(), solo.aco.as_ref().unwrap());
             assert_eq!(a.order, s.order, "region {ri}");
@@ -212,11 +193,13 @@ mod tests {
         cfg.batching.max_group = 4;
         let refs: Vec<&Ddg> = kernel.regions.iter().collect();
         let batch = ParallelScheduler::new(cfg.aco).schedule_batch(&refs, &occ);
-        let compiled = compile_kernel_batched(&kernel, &occ, &cfg, 0, &mut |_, _, _, _, _| {});
+        let sizes: Vec<usize> = kernel.regions.iter().map(Ddg::len).collect();
+        let groups = plan_batches(&sizes, cfg.aco.blocks, &cfg.batching);
+        assert_eq!(groups.len(), 1, "all four regions fit one group");
+        let compiled = compile_batch_group(&kernel, &groups[0], &occ, &cfg);
         let attributed: f64 = compiled
             .iter()
-            .zip(&kernel.regions)
-            .map(|(c, d)| c.sched_time_us - heuristic_model_time_us(d))
+            .map(|(ri, _, c)| c.sched_time_us - heuristic_model_time_us(&kernel.regions[*ri]))
             .sum();
         assert!(
             (attributed - batch.batched_us).abs() < 1e-6,

@@ -104,6 +104,12 @@ pub struct PipelineConfig {
     /// Additional non-scheduling compile cost per instruction,
     /// microseconds.
     pub base_cost_per_instr_us: f64,
+    /// Host worker threads compiling the suite's regions concurrently
+    /// (work-stealing pool; see `host_pool`). This is purely a host
+    /// wall-clock knob: every schedule, record, observer callback and
+    /// modeled time is byte-identical at any value. Values ≤ 1 compile
+    /// inline on the calling thread.
+    pub host_threads: usize,
 }
 
 impl PipelineConfig {
@@ -126,7 +132,14 @@ impl PipelineConfig {
             // contributes (what Table 5 is about).
             base_cost_per_region_us: 980.0,
             base_cost_per_instr_us: 28.0,
+            host_threads: 1,
         }
+    }
+
+    /// The same configuration compiling on `threads` host worker threads.
+    pub fn with_host_threads(mut self, threads: usize) -> PipelineConfig {
+        self.host_threads = threads;
+        self
     }
 
     /// The base (non-scheduling) compile cost of a region with `n`

@@ -1,0 +1,300 @@
+//! Work-stealing host-parallel execution of suite compilation jobs.
+//!
+//! The suite compiler's unit of parallelism is the **region job**: one solo
+//! region compilation, or one cooperative batch group (batched mode). Jobs
+//! are pure — [`run_job`] reads only shared immutable inputs and returns
+//! its outcomes — so running them on any number of host threads in any
+//! order produces the same per-job results. Determinism of the whole suite
+//! run then rests on two invariants:
+//!
+//! 1. [`plan_jobs`] enumerates jobs in **canonical order**: kernels in
+//!    suite order; within a kernel, batch groups in plan order followed by
+//!    solo fallbacks in region order (exactly the order the sequential
+//!    compiler visits them).
+//! 2. The caller merges job results **in job index order** on one thread —
+//!    replaying observer callbacks, summing modeled compile time, and
+//!    applying the kernel post filter exactly as the sequential flow does.
+//!
+//! Under those invariants, `SuiteRun`, every observer callback, and every
+//! float accumulation are byte-identical at any `host_threads` value; the
+//! pool only changes host wall-clock time.
+//!
+//! The pool itself is a classic injector + per-worker deque arrangement
+//! (`crossbeam::deque`): all job indices start in a shared [`Injector`],
+//! workers pull batches into their local queue and steal from siblings when
+//! both run dry. Jobs never spawn jobs, so a worker that finds the injector
+//! and every sibling empty can retire.
+
+use crate::batch::{compile_batch_group, plan_batches};
+use crate::config::{PipelineConfig, SchedulerKind};
+use crate::region::{compile_region, RegionCompilation};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use machine_model::OccupancyModel;
+use parking_lot::Mutex;
+use sched_ir::Ddg;
+use workloads::Suite;
+
+/// One unit of parallel suite-compilation work.
+#[derive(Debug, Clone)]
+pub enum RegionJob {
+    /// Compile one region on its own launch pair.
+    Solo {
+        /// Kernel index within the suite.
+        kernel: usize,
+        /// Region index within the kernel.
+        region: usize,
+    },
+    /// Compile one planned batch group in a cooperative launch pair.
+    Group {
+        /// Kernel index within the suite.
+        kernel: usize,
+        /// Member region indices, in group order.
+        members: Vec<usize>,
+    },
+}
+
+impl RegionJob {
+    /// The kernel this job belongs to.
+    pub fn kernel(&self) -> usize {
+        match self {
+            RegionJob::Solo { kernel, .. } | RegionJob::Group { kernel, .. } => *kernel,
+        }
+    }
+}
+
+/// One region's compilation, tagged with the configuration its
+/// construction actually ran under (batch groups record the split colony).
+#[derive(Debug)]
+pub struct RegionOutcome {
+    /// Region index within the kernel.
+    pub region: usize,
+    /// The configuration the region's construction ran under.
+    pub cfg: PipelineConfig,
+    /// The compilation outcome.
+    pub comp: RegionCompilation,
+}
+
+/// Plans the suite's job list in canonical (sequential-replay) order.
+pub fn plan_jobs(suite: &Suite, cfg: &PipelineConfig) -> Vec<RegionJob> {
+    let mut jobs = Vec::with_capacity(suite.region_count());
+    for (k, kernel) in suite.kernels.iter().enumerate() {
+        if cfg.scheduler == SchedulerKind::BatchedParallelAco {
+            let sizes: Vec<usize> = kernel.regions.iter().map(Ddg::len).collect();
+            let groups = plan_batches(&sizes, cfg.aco.blocks, &cfg.batching);
+            let mut planned = vec![false; kernel.regions.len()];
+            for group in groups {
+                for &ri in &group {
+                    planned[ri] = true;
+                }
+                jobs.push(RegionJob::Group {
+                    kernel: k,
+                    members: group,
+                });
+            }
+            // Solo fallback for the regions the planner left out, after the
+            // groups — matching the sequential batched compiler's order.
+            for (ri, done) in planned.iter().enumerate() {
+                if !done {
+                    jobs.push(RegionJob::Solo {
+                        kernel: k,
+                        region: ri,
+                    });
+                }
+            }
+        } else {
+            for ri in 0..kernel.regions.len() {
+                jobs.push(RegionJob::Solo {
+                    kernel: k,
+                    region: ri,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Runs one job to completion. Pure: reads only the shared inputs, returns
+/// outcomes in the order the sequential compiler would observe them.
+pub fn run_job(
+    job: &RegionJob,
+    suite: &Suite,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+) -> Vec<RegionOutcome> {
+    match job {
+        RegionJob::Solo { kernel, region } => {
+            let ddg = &suite.kernels[*kernel].regions[*region];
+            vec![RegionOutcome {
+                region: *region,
+                cfg: *cfg,
+                comp: compile_region(ddg, occ, cfg),
+            }]
+        }
+        RegionJob::Group { kernel, members } => {
+            compile_batch_group(&suite.kernels[*kernel], members, occ, cfg)
+                .into_iter()
+                .map(|(ri, rcfg, comp)| RegionOutcome {
+                    region: ri,
+                    cfg: rcfg,
+                    comp,
+                })
+                .collect()
+        }
+    }
+}
+
+/// Executes every job, returning results indexed by job. `threads <= 1`
+/// (or a single job) runs inline on the calling thread; otherwise a
+/// work-stealing pool of `threads` scoped workers drains the job list.
+/// Either way the result vector is identical: jobs are pure and indexed.
+pub fn run_jobs(
+    suite: &Suite,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+    jobs: &[RegionJob],
+    threads: usize,
+) -> Vec<Vec<RegionOutcome>> {
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().map(|j| run_job(j, suite, occ, cfg)).collect();
+    }
+    let injector = Injector::new();
+    for i in 0..jobs.len() {
+        injector.push(i);
+    }
+    let slots: Vec<Mutex<Option<Vec<RegionOutcome>>>> =
+        (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    // No point spawning more workers than jobs.
+    let workers: Vec<Worker<usize>> = (0..threads.min(jobs.len()))
+        .map(|_| Worker::new_fifo())
+        .collect();
+    let stealers: Vec<Stealer<usize>> = workers.iter().map(Worker::stealer).collect();
+    crossbeam::scope(|s| {
+        for (me, worker) in workers.iter().enumerate() {
+            let (injector, stealers, slots) = (&injector, &stealers, &slots);
+            s.spawn(move |_| {
+                while let Some(i) = find_task(worker, me, injector, stealers) {
+                    *slots[i].lock() = Some(run_job(&jobs[i], suite, occ, cfg));
+                }
+            });
+        }
+    })
+    .expect("suite compilation worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every job ran"))
+        .collect()
+}
+
+/// The work-stealing discipline: local queue first, then a batch from the
+/// global injector, then a steal from any sibling. `None` means the system
+/// is drained — jobs never spawn jobs, so no new work can appear once the
+/// injector and every sibling queue are empty.
+fn find_task(
+    local: &Worker<usize>,
+    me: usize,
+    injector: &Injector<usize>,
+    stealers: &[Stealer<usize>],
+) -> Option<usize> {
+    if let Some(i) = local.pop() {
+        return Some(i);
+    }
+    loop {
+        match injector.steal_batch_and_pop(local) {
+            Steal::Success(i) => return Some(i),
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    loop {
+        let mut retry = false;
+        for (other, stealer) in stealers.iter().enumerate() {
+            if other == me {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(i) => return Some(i),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::SuiteConfig;
+
+    fn tiny_suite() -> Suite {
+        Suite::generate(&SuiteConfig::scaled(7, 0.008))
+    }
+
+    fn cfg(kind: SchedulerKind) -> PipelineConfig {
+        let mut c = PipelineConfig::paper(kind, 0);
+        c.aco.blocks = 4;
+        c.aco.pass2_gate_cycles = 1;
+        c
+    }
+
+    #[test]
+    fn plan_covers_every_region_exactly_once_in_kernel_order() {
+        let suite = tiny_suite();
+        for kind in [
+            SchedulerKind::ParallelAco,
+            SchedulerKind::BatchedParallelAco,
+        ] {
+            let jobs = plan_jobs(&suite, &cfg(kind));
+            let mut seen = vec![Vec::new(); suite.kernels.len()];
+            let mut last_kernel = 0;
+            for job in &jobs {
+                assert!(job.kernel() >= last_kernel, "jobs must be kernel-ordered");
+                last_kernel = job.kernel();
+                match job {
+                    RegionJob::Solo { kernel, region } => seen[*kernel].push(*region),
+                    RegionJob::Group { kernel, members } => seen[*kernel].extend(members),
+                }
+            }
+            for (k, kernel) in suite.kernels.iter().enumerate() {
+                let mut regions = seen[k].clone();
+                regions.sort_unstable();
+                let expect: Vec<usize> = (0..kernel.regions.len()).collect();
+                assert_eq!(regions, expect, "{kind:?} kernel {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_execution_matches_inline() {
+        let suite = tiny_suite();
+        let occ = OccupancyModel::vega_like();
+        for kind in [
+            SchedulerKind::ParallelAco,
+            SchedulerKind::BatchedParallelAco,
+        ] {
+            let c = cfg(kind);
+            let jobs = plan_jobs(&suite, &c);
+            let inline = run_jobs(&suite, &occ, &c, &jobs, 1);
+            for threads in [2, 5] {
+                let pooled = run_jobs(&suite, &occ, &c, &jobs, threads);
+                assert_eq!(inline.len(), pooled.len());
+                for (a, b) in inline.iter().zip(&pooled) {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.region, y.region);
+                        assert_eq!(x.cfg, y.cfg);
+                        assert_eq!(x.comp.occupancy, y.comp.occupancy);
+                        assert_eq!(x.comp.length, y.comp.length);
+                        assert_eq!(x.comp.sched_time_us, y.comp.sched_time_us);
+                        assert_eq!(
+                            x.comp.aco.as_ref().map(|r| &r.order),
+                            y.comp.aco.as_ref().map(|r| &r.order)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

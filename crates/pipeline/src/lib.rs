@@ -18,16 +18,25 @@
 //! * **batched compilation** ([`batch`]) — the Section VII future-work
 //!   mode: a kernel's ACO-eligible regions grouped into cooperative
 //!   multi-region launches under the colony's block budget, sharing the
-//!   launch/allocation/transfer overheads that dominate small regions.
+//!   launch/allocation/transfer overheads that dominate small regions,
+//! * **host-parallel suite compilation** ([`host_pool`]) — a work-stealing
+//!   pool of host threads compiling the suite's region jobs concurrently
+//!   ([`PipelineConfig::host_threads`]), with a deterministic sequential
+//!   merge that keeps every result byte-identical at any thread count.
 
 pub mod batch;
 pub mod config;
 pub mod exec_model;
+pub mod host_pool;
 pub mod region;
 pub mod suite_run;
 
 pub use batch::plan_batches;
 pub use config::{BatchingConfig, PipelineConfig, SchedulerKind};
 pub use exec_model::{benchmark_throughput, kernel_time_us, ExecModel};
+pub use host_pool::{plan_jobs as plan_suite_jobs, RegionJob};
 pub use region::{compile_region, FinalChoice, RegionCompilation};
-pub use suite_run::{compile_suite, compile_suite_observed, RegionRecord, SuiteRun};
+pub use suite_run::{
+    compile_suite, compile_suite_observed, compile_suite_timed, RegionRecord, SuiteRun,
+    SuiteWallclock,
+};

@@ -4,6 +4,7 @@ use crate::config::PipelineConfig;
 use crate::exec_model::{
     benchmark_throughput, kernel_time_us, schedule_fingerprint, unmodeled_factor, ExecModel,
 };
+use crate::host_pool::{plan_jobs, run_jobs, RegionOutcome};
 use crate::region::{compile_region, FinalChoice, RegionCompilation};
 use crate::SchedulerKind;
 use machine_model::OccupancyModel;
@@ -97,6 +98,12 @@ impl SuiteRun {
 
 /// Compiles every region of the suite and models kernel/benchmark
 /// performance and total compile time.
+///
+/// Host parallelism: with `cfg.host_threads > 1` the per-region (or, in
+/// batched mode, per-group) compilations run on a work-stealing pool of
+/// host threads (see [`crate::host_pool`]); results are merged on the
+/// calling thread in canonical order, so the returned [`SuiteRun`] is
+/// byte-identical at any thread count — only wall-clock time changes.
 pub fn compile_suite(suite: &Suite, occ: &OccupancyModel, cfg: &PipelineConfig) -> SuiteRun {
     compile_suite_observed(suite, occ, cfg, |_, _, _, _, _| {})
 }
@@ -115,6 +122,77 @@ pub fn compile_suite_observed<F>(
     suite: &Suite,
     occ: &OccupancyModel,
     cfg: &PipelineConfig,
+    observe: F,
+) -> SuiteRun
+where
+    F: FnMut(usize, usize, &Ddg, &PipelineConfig, &RegionCompilation),
+{
+    // Phase 1 — parallel: compile every job (solo region, or cooperative
+    // batch group in batched mode) on the host pool. Jobs are pure; the
+    // pool only affects wall-clock time.
+    let jobs = plan_jobs(suite, cfg);
+    let results = run_jobs(suite, occ, cfg, &jobs, cfg.host_threads);
+    merge_job_results(suite, occ, cfg, &jobs, results, observe)
+}
+
+/// Host wall-clock breakdown of one [`compile_suite_timed`] call, seconds.
+/// These are *measured host* times — unrelated to the modeled GPU
+/// microseconds inside [`SuiteRun`] (see DESIGN.md on the two time
+/// domains).
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteWallclock {
+    /// Planning the job list.
+    pub plan_s: f64,
+    /// Compiling every job (the phase `host_threads` parallelizes).
+    pub jobs_s: f64,
+    /// The sequential merge: observer replay, kernel post filter, modeled
+    /// time and throughput aggregation.
+    pub merge_s: f64,
+    /// End-to-end wall-clock of the whole call.
+    pub total_s: f64,
+}
+
+/// [`compile_suite`] with a measured host wall-clock breakdown of the
+/// three phases. The returned [`SuiteRun`] is exactly what
+/// [`compile_suite`] returns — timing instrumentation reads the clock
+/// only at phase boundaries.
+pub fn compile_suite_timed(
+    suite: &Suite,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+) -> (SuiteRun, SuiteWallclock) {
+    use std::time::Instant;
+    let start = Instant::now();
+    let jobs = plan_jobs(suite, cfg);
+    let plan_s = start.elapsed().as_secs_f64();
+    let t_jobs = Instant::now();
+    let results = run_jobs(suite, occ, cfg, &jobs, cfg.host_threads);
+    let jobs_s = t_jobs.elapsed().as_secs_f64();
+    let t_merge = Instant::now();
+    let run = merge_job_results(suite, occ, cfg, &jobs, results, |_, _, _, _, _| {});
+    let merge_s = t_merge.elapsed().as_secs_f64();
+    (
+        run,
+        SuiteWallclock {
+            plan_s,
+            jobs_s,
+            merge_s,
+            total_s: start.elapsed().as_secs_f64(),
+        },
+    )
+}
+
+/// Phase 2 — sequential merge, in canonical job order: replay observer
+/// callbacks exactly as the sequential compiler fires them, then apply
+/// the kernel-level post filter and the modeled-time accounting. Every
+/// float accumulation happens here, in one fixed order, so the result is
+/// independent of how phase 1 was executed.
+fn merge_job_results<F>(
+    suite: &Suite,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+    jobs: &[crate::host_pool::RegionJob],
+    results: Vec<Vec<RegionOutcome>>,
     mut observe: F,
 ) -> SuiteRun
 where
@@ -127,24 +205,25 @@ where
     let mut kernel_occupancy = Vec::with_capacity(suite.kernels.len());
     let mut kernel_times = Vec::with_capacity(suite.kernels.len());
     let mut compile_us = 0.0;
+    let mut job_results = jobs.iter().zip(results).peekable();
     for (k, kernel) in suite.kernels.iter().enumerate() {
-        // Batched mode compiles the kernel's ACO-eligible regions in
-        // cooperative multi-region launches (one shared launch pair per
-        // planned group); every other mode compiles region by region.
-        let mut compiled: Vec<_> = if cfg.scheduler == SchedulerKind::BatchedParallelAco {
-            crate::batch::compile_kernel_batched(kernel, occ, cfg, k, &mut observe)
-        } else {
-            kernel
-                .regions
-                .iter()
-                .enumerate()
-                .map(|(ri, ddg)| {
-                    let c = compile_region(ddg, occ, cfg);
-                    observe(k, ri, ddg, cfg, &c);
-                    c
-                })
-                .collect()
-        };
+        let mut slots: Vec<Option<RegionCompilation>> =
+            (0..kernel.regions.len()).map(|_| None).collect();
+        while let Some((_, outcomes)) = job_results.next_if(|(job, _)| job.kernel() == k) {
+            for RegionOutcome {
+                region,
+                cfg: region_cfg,
+                comp,
+            } in outcomes
+            {
+                observe(k, region, &kernel.regions[region], &region_cfg, &comp);
+                slots[region] = Some(comp);
+            }
+        }
+        let mut compiled: Vec<RegionCompilation> = slots
+            .into_iter()
+            .map(|c| c.expect("every region compiled by some job"))
+            .collect();
         for (c, ddg) in compiled.iter().zip(&kernel.regions) {
             compile_us += cfg.base_cost_us(ddg.len()) + c.sched_time_us;
         }

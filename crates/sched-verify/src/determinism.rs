@@ -9,9 +9,12 @@
 //! identical results.
 
 use crate::diag::{codes, Diagnostic, Span};
+use crate::fingerprint::suite_fingerprint;
 use aco::{AcoConfig, AcoResult, HostParallelScheduler, ParallelScheduler};
 use machine_model::OccupancyModel;
+use pipeline::{compile_suite, PipelineConfig};
 use sched_ir::{Ddg, REG_CLASS_COUNT};
+use workloads::Suite;
 
 /// The parts of an [`AcoResult`] that must be reproducible. Timing and op
 /// counts are cost-model outputs and may legitimately differ with the
@@ -62,6 +65,49 @@ pub fn check_host_determinism(
                      threads: [{}] vs [{}]",
                     describe(&reference),
                     describe(&r)
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+/// Compiles `suite` at every `host_threads` value in `threads` and reports
+/// a `D003` error for each value whose [`pipeline::SuiteRun`] fingerprint
+/// deviates from the first.
+///
+/// This is the suite-level analogue of [`check_host_determinism`]: the
+/// pipeline's host worker pool must be a pure wall-clock knob, so the full
+/// run — every region record, kernel occupancy, modeled time and
+/// throughput — is hashed, not just the schedules.
+pub fn check_suite_thread_determinism(
+    suite: &Suite,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+    threads: &[usize],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let Some((&first, rest)) = threads.split_first() else {
+        return diags;
+    };
+    let reference = compile_suite(suite, occ, &cfg.with_host_threads(first));
+    let ref_fp = suite_fingerprint(&reference);
+    for &t in rest {
+        let run = compile_suite(suite, occ, &cfg.with_host_threads(t));
+        let fp = suite_fingerprint(&run);
+        if fp != ref_fp {
+            diags.push(Diagnostic::error(
+                codes::SUITE_THREAD_NONDETERMINISM,
+                Span::Region,
+                format!(
+                    "suite compilation ({:?}) differs between {first} and {t} \
+                     host threads: fingerprint {ref_fp:#018x} vs {fp:#018x} \
+                     (total length {} vs {}, total occupancy {} vs {})",
+                    cfg.scheduler,
+                    reference.total_length(),
+                    run.total_length(),
+                    reference.total_occupancy(),
+                    run.total_occupancy(),
                 ),
             ));
         }
@@ -127,5 +173,23 @@ mod tests {
         let occ = OccupancyModel::vega_like();
         let diags = check_parallel_repeatability(&ddg, &occ, &small_cfg(), 3);
         assert!(diags.is_empty(), "{}", crate::diag::render(&diags));
+    }
+
+    #[test]
+    fn tiny_suite_is_host_thread_invariant() {
+        use pipeline::SchedulerKind;
+        use workloads::SuiteConfig;
+        let suite = Suite::generate(&SuiteConfig::scaled(3, 0.004));
+        let occ = OccupancyModel::vega_like();
+        for kind in [
+            SchedulerKind::ParallelAco,
+            SchedulerKind::BatchedParallelAco,
+        ] {
+            let mut cfg = PipelineConfig::paper(kind, 0);
+            cfg.aco.blocks = 4;
+            cfg.aco.pass2_gate_cycles = 1;
+            let diags = check_suite_thread_determinism(&suite, &occ, &cfg, &[1, 2, 5]);
+            assert!(diags.is_empty(), "{}", crate::diag::render(&diags));
+        }
     }
 }

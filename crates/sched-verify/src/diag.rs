@@ -140,6 +140,9 @@ pub mod codes {
     pub const THREAD_NONDETERMINISM: &str = "D001";
     /// Repeated runs with one configuration disagree.
     pub const RUN_NONDETERMINISM: &str = "D002";
+    /// Suite compilation produced different results at different
+    /// `host_threads` values.
+    pub const SUITE_THREAD_NONDETERMINISM: &str = "D003";
 }
 
 /// One verifier finding.

@@ -29,13 +29,17 @@
 pub mod certify;
 pub mod determinism;
 pub mod diag;
+pub mod fingerprint;
 pub mod lint;
 
 pub use certify::{
     certify_aco, certify_exact, certify_list, certify_schedule, recompute_prp, Claim,
 };
-pub use determinism::{check_host_determinism, check_parallel_repeatability};
+pub use determinism::{
+    check_host_determinism, check_parallel_repeatability, check_suite_thread_determinism,
+};
 pub use diag::{codes, has_errors, render, Diagnostic, Severity, Span};
+pub use fingerprint::{aco_fingerprint, suite_fingerprint, Fnv};
 pub use lint::{lint_config, lint_ddg, lint_ddg_pedantic, lint_pheromone};
 
 use machine_model::OccupancyModel;

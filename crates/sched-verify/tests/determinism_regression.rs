@@ -1,15 +1,23 @@
 //! Determinism regression: the host-parallel scheduler must return
-//! identical results no matter how many threads split the colony.
+//! identical results no matter how many threads split the colony, and the
+//! suite compiler must return identical runs no matter how many host
+//! threads its work-stealing pool uses.
 //!
 //! Covers the Figure-1 region and three generated workloads at 1, 2, and
-//! 8 threads. This is the regression guard for the independent-ants
-//! parallelization argument — any thread-count-dependent reduction order
-//! or RNG stream split shows up here as a `D001` diagnostic.
+//! 8 threads, plus whole-suite compilations at 1, 2, and 8 `host_threads`.
+//! This is the regression guard for the independent-ants parallelization
+//! argument (`D001`) and the pure-jobs + deterministic-merge suite
+//! compiler argument (`D003`) — any thread-count-dependent reduction
+//! order, RNG stream split, or merge-order slip shows up here.
 
 use aco::{batch_block_split, AcoConfig, HostParallelScheduler, ParallelScheduler};
 use machine_model::OccupancyModel;
+use pipeline::{compile_suite_observed, PipelineConfig, SchedulerKind};
 use sched_ir::{figure1, Ddg};
-use sched_verify::{check_host_determinism, check_parallel_repeatability, render};
+use sched_verify::{
+    check_host_determinism, check_parallel_repeatability, check_suite_thread_determinism, render,
+};
+use workloads::{Suite, SuiteConfig};
 
 const THREADS: &[usize] = &[1, 2, 8];
 
@@ -131,5 +139,69 @@ fn simulated_gpu_scheduler_is_run_repeatable() {
     for (name, ddg) in workload_regions() {
         let diags = check_parallel_repeatability(&ddg, &occ, &cfg(5), 2);
         assert!(diags.is_empty(), "{name}:\n{}", render(&diags));
+    }
+}
+
+fn suite_cfg(kind: SchedulerKind) -> PipelineConfig {
+    let mut c = PipelineConfig::paper(kind, 0);
+    c.aco.blocks = 4;
+    c.aco.pass2_gate_cycles = 1;
+    c
+}
+
+#[test]
+fn suite_compilation_is_host_thread_invariant() {
+    let suite = Suite::generate(&SuiteConfig::scaled(5, 0.008));
+    let occ = OccupancyModel::vega_like();
+    for kind in [
+        SchedulerKind::BaseAmd,
+        SchedulerKind::ParallelAco,
+        SchedulerKind::BatchedParallelAco,
+    ] {
+        let diags = check_suite_thread_determinism(&suite, &occ, &suite_cfg(kind), &[1, 8]);
+        assert!(diags.is_empty(), "{kind:?}:\n{}", render(&diags));
+    }
+}
+
+#[test]
+fn suite_observer_stream_is_host_thread_invariant() {
+    // Stronger than the run fingerprint: the *observer callback sequence* —
+    // which region, under which effective configuration, with which
+    // outcome, in which order — must replay identically at any thread
+    // count, or sched-verify's certification hook would see different
+    // events depending on the host machine.
+    let suite = Suite::generate(&SuiteConfig::scaled(5, 0.008));
+    let occ = OccupancyModel::vega_like();
+    for kind in [
+        SchedulerKind::ParallelAco,
+        SchedulerKind::BatchedParallelAco,
+    ] {
+        let capture = |threads: usize| {
+            let mut events = Vec::new();
+            let cfg = suite_cfg(kind).with_host_threads(threads);
+            compile_suite_observed(&suite, &occ, &cfg, |k, ri, ddg, rcfg, c| {
+                events.push((
+                    k,
+                    ri,
+                    ddg.len(),
+                    rcfg.aco.blocks,
+                    rcfg.aco.occupancy_cap,
+                    c.occupancy,
+                    c.length,
+                    c.sched_time_us.to_bits(),
+                    c.aco.as_ref().map(|a| a.order.clone()),
+                ));
+            });
+            events
+        };
+        let reference = capture(1);
+        assert!(!reference.is_empty());
+        for threads in [2usize, 8] {
+            assert_eq!(
+                reference,
+                capture(threads),
+                "{kind:?}: observer stream differs at {threads} host threads"
+            );
+        }
     }
 }

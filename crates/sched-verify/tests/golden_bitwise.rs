@@ -1,0 +1,160 @@
+//! Golden bitwise-equality tests: the scheduler stack's results on fixed
+//! seeds, pinned as FNV-1a fingerprints captured from the seed
+//! implementation (before the scratch-buffer / deferred-materialization /
+//! host-parallel-suite refactors).
+//!
+//! Any change to ant construction, the winner reduction, or the suite
+//! compiler must keep every constant here bit-for-bit. Regenerate with
+//! `cargo run --release --example golden_dump` — and if a constant moves,
+//! the burden of proof is on the change: either it intentionally alters
+//! the search (explain it in the commit and update the golden), or it is
+//! a regression.
+
+use machine_model::OccupancyModel;
+use pipeline::{compile_suite, PipelineConfig, SchedulerKind};
+use sched_verify::{aco_fingerprint, suite_fingerprint, Fnv};
+use workloads::{Suite, SuiteConfig};
+
+use aco::{AcoConfig, HostParallelScheduler, ParallelScheduler, SequentialScheduler};
+
+/// Captured from the seed implementation (commit ef7a1ae) via
+/// `examples/golden_dump.rs`.
+const SEQ_GOLDEN: &[(usize, u64, u64, u64)] = &[
+    (40, 7, 3, 0x3f93_1651_838a_ada3),
+    (80, 21, 9, 0x0943_f344_e143_39b2),
+    (120, 13, 5, 0x5497_62ff_7951_31b2),
+];
+
+const HOST_GOLDEN: &[(usize, u64, u64, u64)] = &[
+    (40, 7, 3, 0x1242_90cd_c031_a5f7),
+    (90, 5, 3, 0x3510_f1b0_293c_d6e5),
+    (120, 13, 5, 0x5497_62ff_7951_31b2),
+];
+
+const PAR_GOLDEN: &[(usize, u64, u64, u64)] = &[
+    (40, 7, 3, 0x2b43_207a_72cb_91a3),
+    (80, 11, 3, 0xb352_e9e4_a96f_ecbf),
+    (120, 13, 5, 0x131d_e74f_15d6_bff2),
+];
+
+const BATCH_GOLDEN: u64 = 0x7dbd_576b_6740_b537;
+
+const SUITE_GOLDEN: &[(SchedulerKind, u64)] = &[
+    (SchedulerKind::BaseAmd, 0x17ab_1421_e1f4_ab35),
+    (SchedulerKind::SequentialAco, 0xfae2_90c1_d504_8d86),
+    (SchedulerKind::ParallelAco, 0x0bab_ab0d_95ed_2a9b),
+    (SchedulerKind::BatchedParallelAco, 0xf4e9_8570_6500_64e0),
+];
+
+fn paper_cfg(seed: u64) -> AcoConfig {
+    let mut cfg = AcoConfig::paper(seed);
+    cfg.blocks = 8;
+    cfg.pass2_gate_cycles = 1;
+    cfg
+}
+
+#[test]
+fn sequential_matches_seed_goldens() {
+    let occ = OccupancyModel::vega_like();
+    for &(size, rseed, cseed, want) in SEQ_GOLDEN {
+        let ddg = workloads::patterns::sized(size, rseed);
+        let r = SequentialScheduler::new(paper_cfg(cseed)).schedule(&ddg, &occ);
+        assert_eq!(
+            aco_fingerprint(&r),
+            want,
+            "sequential drifted on sized({size}, {rseed}) seed {cseed}"
+        );
+    }
+}
+
+#[test]
+fn host_parallel_matches_seed_goldens_at_1_2_8_threads() {
+    let occ = OccupancyModel::vega_like();
+    for &(size, rseed, cseed, want) in HOST_GOLDEN {
+        let ddg = workloads::patterns::sized(size, rseed);
+        for threads in [1usize, 2, 8] {
+            let r = HostParallelScheduler::new(paper_cfg(cseed), threads).schedule(&ddg, &occ);
+            assert_eq!(
+                aco_fingerprint(&r),
+                want,
+                "host-parallel drifted on sized({size}, {rseed}) seed {cseed} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulated_gpu_matches_seed_goldens() {
+    let occ = OccupancyModel::vega_like();
+    for &(size, rseed, cseed, want) in PAR_GOLDEN {
+        let ddg = workloads::patterns::sized(size, rseed);
+        let mut cfg = AcoConfig::small(cseed);
+        cfg.blocks = 8;
+        cfg.pass2_gate_cycles = 1;
+        let r = ParallelScheduler::new(cfg).schedule(&ddg, &occ);
+        assert_eq!(
+            aco_fingerprint(&r.result),
+            want,
+            "simulated-GPU drifted on sized({size}, {rseed}) seed {cseed}"
+        );
+    }
+}
+
+#[test]
+fn batched_launch_matches_seed_golden() {
+    let occ = OccupancyModel::vega_like();
+    let regions = [
+        workloads::patterns::sized(40, 7),
+        workloads::patterns::sized(80, 11),
+        workloads::patterns::sized(120, 13),
+    ];
+    let refs: Vec<&sched_ir::Ddg> = regions.iter().collect();
+    let mut cfg = AcoConfig::small(3);
+    cfg.blocks = 10;
+    cfg.pass2_gate_cycles = 1;
+    let batch = ParallelScheduler::new(cfg).schedule_batch(&refs, &occ);
+    let mut h = Fnv::new();
+    for o in &batch.outcomes {
+        h.word(aco_fingerprint(&o.result));
+    }
+    assert_eq!(h.finish(), BATCH_GOLDEN, "batched launch drifted");
+}
+
+#[test]
+fn suite_compilations_match_seed_goldens() {
+    let occ = OccupancyModel::vega_like();
+    let suite = Suite::generate(&SuiteConfig::scaled(5, 0.008));
+    for &(kind, want) in SUITE_GOLDEN {
+        let mut cfg = PipelineConfig::paper(kind, 0);
+        cfg.aco.blocks = 4;
+        cfg.aco.pass2_gate_cycles = 1;
+        let run = compile_suite(&suite, &occ, &cfg);
+        assert_eq!(
+            suite_fingerprint(&run),
+            want,
+            "suite compilation drifted under {kind:?}"
+        );
+    }
+}
+
+/// The host worker pool is a pure wall-clock knob: compiling on 1, 2 or 8
+/// host threads must reproduce the seed implementation's (sequential)
+/// suite fingerprints bit for bit, for every scheduler kind.
+#[test]
+fn suite_compilations_are_thread_count_invariant() {
+    let occ = OccupancyModel::vega_like();
+    let suite = Suite::generate(&SuiteConfig::scaled(5, 0.008));
+    for &(kind, want) in SUITE_GOLDEN {
+        for threads in [1usize, 2, 8] {
+            let mut cfg = PipelineConfig::paper(kind, 0).with_host_threads(threads);
+            cfg.aco.blocks = 4;
+            cfg.aco.pass2_gate_cycles = 1;
+            let run = compile_suite(&suite, &occ, &cfg);
+            assert_eq!(
+                suite_fingerprint(&run),
+                want,
+                "suite compilation drifted under {kind:?} at {threads} host threads"
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Host wall-clock benchmark of suite compilation.
+#
+#   scripts/bench.sh            # full run: thread ladder up to all cores,
+#                               # best of 3, writes BENCH_wallclock.json
+#   scripts/bench.sh --smoke    # tiny suite + self-gating: validates the
+#                               # JSON schema, checks result checksums
+#                               # agree, and on a >=2-core host requires
+#                               # the parallel best not to lose to the
+#                               # sequential best (10% noise allowance)
+#
+# Extra arguments are forwarded to the `wallclock` binary, e.g.
+#   scripts/bench.sh --threads 1,2,4,8 --reps 5 --scale 0.05
+#
+# The report separates the two time domains deliberately: the modeled GPU
+# microseconds inside a SuiteRun never change with host threads (the
+# report's checksum field proves it); only the host seconds here do.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p bench-harness --bin wallclock"
+cargo build --release -p bench-harness --bin wallclock
+
+echo "==> wallclock $*"
+./target/release/wallclock "$@"

@@ -33,6 +33,9 @@ if [[ "${1:-}" != "--fast" ]]; then
     ./target/release/gpu-aco-cli generate reduction 40 --seed 9 > "$smoke_dir/region2.txt"
     ./target/release/gpu-aco-cli schedule "$smoke_dir/region.txt" "$smoke_dir/region2.txt" \
         --batch --blocks 8 > /dev/null
+
+    echo "==> scripts/bench.sh --smoke"
+    scripts/bench.sh --smoke --out "$smoke_dir/BENCH_wallclock.json"
 fi
 
 echo "==> cargo test --workspace -q"

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! gpu-aco-cli schedule <region.txt> [--scheduler amd|cp|luc|seq|par|host|exact]
-//!                      [--seed N] [--blocks N] [--unit-aprp] [--dot <out.dot>]
+//!                      [--seed N] [--blocks N] [--threads N] [--unit-aprp]
+//!                      [--dot <out.dot>]
 //! gpu-aco-cli schedule <region.txt>... --batch [--seed N] [--blocks N] [--unit-aprp]
 //! gpu-aco-cli generate <pattern> <size> [--seed N]     # emit a region file
 //! gpu-aco-cli inspect <region.txt>                     # bounds and stats
@@ -48,13 +49,18 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   gpu-aco-cli schedule <region.txt> [--scheduler amd|cp|luc|seq|par|host|exact]
-                       [--seed N] [--blocks N] [--unit-aprp] [--dot <out.dot>]
+                       [--seed N] [--blocks N] [--threads N] [--unit-aprp]
+                       [--dot <out.dot>]
   gpu-aco-cli schedule <region.txt>... --batch [--seed N] [--blocks N] [--unit-aprp]
   gpu-aco-cli generate <pattern> <size> [--seed N]
       patterns: reduction scan transform vector stencil sort gather random mixed
   gpu-aco-cli inspect <region.txt>
   gpu-aco-cli verify <region.txt> [--scheduler amd|cp|luc|seq|par|host|exact|all]
-                     [--seed N] [--blocks N] [--unit-aprp] [--pedantic]";
+                     [--seed N] [--blocks N] [--threads N] [--unit-aprp] [--pedantic]
+
+  --threads N   host worker threads for the host-parallel scheduler
+                (default: all available cores; results are identical at
+                any value)";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -88,6 +94,20 @@ fn positional_args<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a Stri
         }
     }
     out
+}
+
+/// `--threads`: host worker threads for the host-parallel scheduler.
+/// Defaults to every available core; schedules are identical at any value
+/// (the host colony's merge is deterministic), so this is purely a
+/// wall-clock knob.
+fn host_threads(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--threads") {
+        Some(s) => s
+            .parse::<usize>()
+            .map(|n| n.max(1))
+            .map_err(|_| "--threads must be an integer".into()),
+        None => Ok(std::thread::available_parallelism().map_or(1, |n| n.get())),
+    }
 }
 
 fn load_region(path: &str) -> Result<Ddg, String> {
@@ -133,6 +153,9 @@ fn schedule(args: &[String]) -> Result<(), String> {
         .map_err(|_| "--blocks must be an integer")?
         .unwrap_or(32);
     let which = flag_value(args, "--scheduler").unwrap_or_else(|| "par".into());
+    // Validate --threads up front so a bad value errors even when the
+    // selected scheduler never reads it.
+    let threads = host_threads(args)?;
     let cfg = AcoConfig {
         blocks,
         ..AcoConfig::paper(seed)
@@ -177,8 +200,13 @@ fn schedule(args: &[String]) -> Result<(), String> {
             )
         }
         "host" => {
-            let r = HostParallelScheduler::new(cfg, 4).schedule(&ddg, &occ);
-            ("host-parallel ACO".into(), r.schedule, r.prp, String::new())
+            let r = HostParallelScheduler::new(cfg, threads).schedule(&ddg, &occ);
+            (
+                format!("host-parallel ACO ({threads} threads)"),
+                r.schedule,
+                r.prp,
+                String::new(),
+            )
         }
         "exact" => {
             if ddg.len() > exact_sched::MAX_EXACT_SIZE {
@@ -229,10 +257,16 @@ fn schedule(args: &[String]) -> Result<(), String> {
 fn schedule_batched(args: &[String]) -> Result<(), String> {
     use gpu_aco::scheduler::batch_block_split;
 
-    let paths = positional_args(args, &["--scheduler", "--seed", "--blocks", "--dot"]);
+    let paths = positional_args(
+        args,
+        &["--scheduler", "--seed", "--blocks", "--threads", "--dot"],
+    );
     if paths.is_empty() {
         return Err("schedule --batch needs at least one region file".into());
     }
+    // --threads is accepted (and validated) for uniformity, but the batch
+    // path always runs the simulated-GPU scheduler, which never reads it.
+    host_threads(args)?;
     let occ = if args.iter().any(|a| a == "--unit-aprp") {
         OccupancyModel::unit()
     } else {
@@ -342,6 +376,9 @@ fn verify(args: &[String]) -> Result<(), String> {
     }
 
     let which = flag_value(args, "--scheduler").unwrap_or_else(|| "all".into());
+    // Validate --threads up front so a bad value errors even when the
+    // host scheduler is not among the certified set.
+    let threads = host_threads(args)?;
     let schedulers: Vec<&str> = match which.as_str() {
         "all" => vec!["amd", "cp", "luc", "seq", "par", "host", "exact"],
         s @ ("amd" | "cp" | "luc" | "seq" | "par" | "host" | "exact") => vec![s],
@@ -369,9 +406,14 @@ fn verify(args: &[String]) -> Result<(), String> {
                 diags.extend(sv::certify_aco(&ddg, &occ, &cfg, &out.result));
             }
             "host" => {
-                let r = HostParallelScheduler::new(cfg, 4).schedule(&ddg, &occ);
+                let r = HostParallelScheduler::new(cfg, threads).schedule(&ddg, &occ);
                 diags.extend(sv::certify_aco(&ddg, &occ, &cfg, &r));
-                diags.extend(sv::check_host_determinism(&ddg, &occ, &cfg, &[1, 2, 4]));
+                diags.extend(sv::check_host_determinism(
+                    &ddg,
+                    &occ,
+                    &cfg,
+                    &[1, 2, threads],
+                ));
             }
             "exact" => {
                 if ddg.len() > exact_sched::MAX_EXACT_SIZE {

@@ -1,0 +1,235 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! Provides the `Injector` / `Worker` / `Stealer` work-stealing API over
+//! mutex-protected queues. The real crate's lock-free Chase-Lev deques are
+//! a throughput optimization; for the coarse-grained jobs this workspace
+//! schedules (whole scheduling-region compilations, each milliseconds of
+//! work), a mutex per queue is contention-free in practice and keeps the
+//! stand-in obviously correct. The API is a faithful subset: `steal`
+//! operations return [`Steal`] (with a `Retry` variant callers must loop
+//! on, even though this implementation never produces it), and
+//! [`Injector::steal_batch_and_pop`] moves a batch into the destination
+//! worker while handing one task back, as upstream does.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried. (Never produced by
+    /// this mutex-backed stand-in, but part of the API contract: callers
+    /// must loop on it.)
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns `true` if the queue was empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Returns the stolen task, if one was stolen.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A global FIFO queue all threads push to and steal from.
+#[derive(Debug)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Injector<T> {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Injector<T> {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Steals one task from the front of the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of tasks, moving all but the first into `dest`'s
+    /// local queue and returning the first. Takes roughly half the queue
+    /// (at least one task), like upstream.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = lock(&self.queue);
+        let Some(first) = q.pop_front() else {
+            return Steal::Empty;
+        };
+        let extra = q.len() / 2;
+        if extra > 0 {
+            let mut d = lock(&dest.queue);
+            d.extend(q.drain(..extra));
+        }
+        Steal::Success(first)
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+}
+
+/// A thread-local FIFO queue with work-stealing access for other threads.
+#[derive(Debug)]
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates an empty FIFO worker queue.
+    pub fn new_fifo() -> Worker<T> {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the queue.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Pops a task from the front of the queue (FIFO order).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_front()
+    }
+
+    /// Creates a stealer handle other threads can take tasks through.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of tasks currently queued.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+}
+
+/// A handle for stealing tasks from another thread's [`Worker`].
+#[derive(Debug)]
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals one task from the front of the worker's queue.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the worker's queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        for i in 0..4 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 4);
+        for i in 0..4 {
+            assert_eq!(inj.steal().success(), Some(i));
+        }
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn batch_steal_moves_half_and_pops_one() {
+        let inj = Injector::new();
+        for i in 0..9 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        // Pops 0, moves half of the remaining 8 (= 4 tasks) locally.
+        assert_eq!(inj.steal_batch_and_pop(&w).success(), Some(0));
+        assert_eq!(w.len(), 4);
+        assert_eq!(inj.len(), 4);
+        assert_eq!(w.pop(), Some(1));
+        assert!(Injector::<u32>::new().steal_batch_and_pop(&w).is_empty());
+    }
+
+    #[test]
+    fn stealer_drains_worker_across_threads() {
+        let w = Worker::new_fifo();
+        for i in 0..100u32 {
+            w.push(i);
+        }
+        let stealer = w.stealer();
+        let total = std::sync::Mutex::new(0u32);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Steal::Success(v) = stealer.steal() {
+                        *total.lock().unwrap() += v;
+                    }
+                });
+            }
+        });
+        assert!(w.is_empty());
+        assert_eq!(total.into_inner().unwrap(), (0..100).sum());
+    }
+}

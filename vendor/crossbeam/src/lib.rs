@@ -1,13 +1,16 @@
 //! Offline stand-in for `crossbeam`.
 //!
 //! Provides the `crossbeam::scope` / `Scope::spawn` API the workspace uses,
-//! implemented on `std::thread::scope` (stable since Rust 1.63). As in
+//! implemented on `std::thread::scope` (stable since Rust 1.63), plus the
+//! [`deque`] work-stealing queues (`Injector`/`Worker`/`Stealer`). As in
 //! crossbeam, the closure passed to [`Scope::spawn`] receives the scope
 //! itself (for nested spawns), and [`scope`] returns `Err` with the panic
 //! payload if any thread panicked.
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod deque;
 
 /// A scope for spawning threads that borrow from the enclosing stack frame.
 pub struct Scope<'scope, 'env: 'scope> {
