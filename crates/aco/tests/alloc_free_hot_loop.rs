@@ -84,6 +84,18 @@ fn pass1_and_pass2_constructions_allocate_nothing() {
     while !ant1.finished(&ctx) {
         ant1.step(&ctx, &pheromone, None);
     }
+    // Plain reset (the colony's per-iteration entry point) is silent too:
+    // it seeds the ready list from the DDG's cached root set rather than
+    // re-deriving roots with a preds scan.
+    for seed in 20..24u64 {
+        let (n, ()) = count_events(|| {
+            ant1.reset(&ctx, seed);
+            while !ant1.finished(&ctx) {
+                ant1.step(&ctx, &pheromone, None);
+            }
+        });
+        assert_eq!(n, 0, "pass-1 reset (seed {seed}) hit the allocator");
+    }
     for (seed, h) in (2..10u64).zip(
         [Heuristic::ALL, Heuristic::ALL]
             .concat()
@@ -108,6 +120,20 @@ fn pass1_and_pass2_constructions_allocate_nothing() {
     ant2.reset(&ctx, 1);
     while ant2.running() {
         ant2.step(&ctx, &pheromone, None);
+    }
+    for seed in 20..24u64 {
+        let (n, finished) = count_events(|| {
+            ant2.reset(&ctx, seed);
+            loop {
+                match ant2.step(&ctx, &pheromone, None) {
+                    Pass2Step::Died => break false,
+                    Pass2Step::Finished => break true,
+                    Pass2Step::Issued { .. } | Pass2Step::Stalled { .. } => {}
+                }
+            }
+        });
+        assert_eq!(n, 0, "pass-2 reset (seed {seed}) hit the allocator");
+        assert!(finished, "unconstrained pass-2 ants cannot die");
     }
     for (seed, h) in (2..10u64).zip(
         [Heuristic::ALL, Heuristic::ALL]

@@ -1,0 +1,315 @@
+//! Wall-clock benefit of the content-addressed schedule cache.
+//!
+//! The cache (`pipeline::ScheduleCache`) memoizes region compilations by
+//! canonical DDG content fingerprint plus the scheduling-relevant
+//! configuration, re-certifying every hit before adopting it. On a
+//! duplicate-heavy suite — the common case for real shader/kernel corpora,
+//! where the same unrolled loop body or template instantiation recurs
+//! across kernels — a large fraction of ACO searches is skipped entirely.
+//! This module measures that skip as real host seconds: the same suite is
+//! compiled with the cache off (the reference) and on, and the report
+//! records both wall clocks, the hit rate, and proof (via result
+//! fingerprints) that the cache changed nothing but time.
+//!
+//! Results are emitted as a hand-rolled JSON report (`BENCH_cache.json`
+//! via `scripts/bench.sh`) — the workspace deliberately vendors no JSON
+//! serializer.
+
+use machine_model::OccupancyModel;
+use pipeline::{compile_suite_timed, CacheStats, PipelineConfig, SchedulerKind};
+use sched_verify::suite_fingerprint;
+use workloads::{Suite, SuiteConfig};
+
+/// Version stamp of the JSON report layout. Bump on any key change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Wall-clock samples for one cache setting (off or on).
+#[derive(Debug, Clone)]
+pub struct CacheSample {
+    /// Whether the schedule cache was enabled for this sample.
+    pub enabled: bool,
+    /// End-to-end seconds of every repetition, in run order.
+    pub all_total_s: Vec<f64>,
+    /// Best (fastest) end-to-end seconds.
+    pub best_total_s: f64,
+    /// Cache counters of the *last* repetition. Exact hit/miss splits can
+    /// vary between repetitions at `host_threads > 1` (two workers racing
+    /// to first-compile the same content), but `lookups()` and the results
+    /// themselves cannot.
+    pub stats: CacheStats,
+    /// FNV-1a fingerprint of the full `SuiteRun` (identical across
+    /// repetitions and cache settings by construction; verified).
+    pub checksum: u64,
+}
+
+/// A complete cache benchmark report: one duplicate-heavy suite compiled
+/// with the cache off and on at a fixed thread count.
+#[derive(Debug, Clone)]
+pub struct CacheReport {
+    /// Host cores available to the pool.
+    pub cores: usize,
+    /// Scheduler kind the suite was compiled under.
+    pub scheduler: SchedulerKind,
+    /// Suite generation seed.
+    pub suite_seed: u64,
+    /// Suite scale factor (fraction of the paper-scale suite).
+    pub suite_scale: f64,
+    /// Kernel count of the generated suite.
+    pub kernels: usize,
+    /// Region count of the generated suite.
+    pub regions: usize,
+    /// Content-distinct region count (full structural equality classes).
+    pub distinct_regions: usize,
+    /// Fraction of regions that are duplicates of an earlier one.
+    pub dedup_ratio: f64,
+    /// `host_threads` both runs used.
+    pub threads: usize,
+    /// Repetitions per cache setting (best is reported).
+    pub repetitions: usize,
+    /// The cache-off reference sample.
+    pub off: CacheSample,
+    /// The cache-on sample.
+    pub on: CacheSample,
+}
+
+impl CacheReport {
+    /// Hit rate of the cache-on run: hits / (hits + misses + bypasses).
+    pub fn hit_rate(&self) -> f64 {
+        self.on.stats.hit_rate()
+    }
+
+    /// Cache-off / cache-on best-time ratio (> 1 means the cache won).
+    pub fn speedup(&self) -> Option<f64> {
+        if self.on.best_total_s > 0.0 {
+            Some(self.off.best_total_s / self.on.best_total_s)
+        } else {
+            None
+        }
+    }
+
+    /// Whether both samples produced the same result checksum — the
+    /// transparency contract in one bit.
+    pub fn fingerprints_agree(&self) -> bool {
+        self.off.checksum == self.on.checksum
+    }
+
+    /// Renders the report as a JSON document (see module docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", SCHEMA_VERSION));
+        out.push_str("  \"benchmark\": \"suite_compile_cache\",\n");
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"scheduler\": \"{:?}\",\n", self.scheduler));
+        out.push_str(&format!(
+            "  \"suite\": {{\"seed\": {}, \"scale\": {}, \"kernels\": {}, \
+             \"regions\": {}, \"distinct_regions\": {}, \"dedup_ratio\": {}}},\n",
+            self.suite_seed,
+            self.suite_scale,
+            self.kernels,
+            self.regions,
+            self.distinct_regions,
+            self.dedup_ratio
+        ));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"repetitions\": {},\n", self.repetitions));
+        out.push_str(&format!(
+            "  \"checksum\": \"{:#018x}\",\n",
+            self.off.checksum
+        ));
+        out.push_str(&format!(
+            "  \"fingerprints_agree\": {},\n",
+            self.fingerprints_agree()
+        ));
+        out.push_str("  \"samples\": [\n");
+        for (i, s) in [&self.off, &self.on].into_iter().enumerate() {
+            let all: Vec<String> = s.all_total_s.iter().map(|t| format!("{t}")).collect();
+            out.push_str(&format!(
+                "    {{\"cache_enabled\": {}, \"best_total_s\": {}, \
+                 \"all_total_s\": [{}], \"hits\": {}, \"misses\": {}, \
+                 \"inserts\": {}, \"bypasses\": {}}}{}\n",
+                s.enabled,
+                s.best_total_s,
+                all.join(", "),
+                s.stats.hits,
+                s.stats.misses,
+                s.stats.inserts,
+                s.stats.bypasses,
+                if i == 0 { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"cache_off_best_s\": {},\n",
+            self.off.best_total_s
+        ));
+        out.push_str(&format!(
+            "  \"cache_on_best_s\": {},\n",
+            self.on.best_total_s
+        ));
+        out.push_str(&format!("  \"hit_rate\": {},\n", self.hit_rate()));
+        let opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x}"));
+        out.push_str(&format!("  \"speedup\": {}\n", opt(self.speedup())));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Keys every schema-1 report must contain. Used by the smoke gate (and
+/// tests) as a cheap structural check without a JSON parser.
+pub const SCHEMA_KEYS: &[&str] = &[
+    "\"schema_version\"",
+    "\"benchmark\"",
+    "\"cores\"",
+    "\"scheduler\"",
+    "\"suite\"",
+    "\"dedup_ratio\"",
+    "\"distinct_regions\"",
+    "\"threads\"",
+    "\"repetitions\"",
+    "\"checksum\"",
+    "\"fingerprints_agree\"",
+    "\"samples\"",
+    "\"cache_enabled\"",
+    "\"best_total_s\"",
+    "\"all_total_s\"",
+    "\"hits\"",
+    "\"misses\"",
+    "\"inserts\"",
+    "\"bypasses\"",
+    "\"cache_off_best_s\"",
+    "\"cache_on_best_s\"",
+    "\"hit_rate\"",
+    "\"speedup\"",
+];
+
+/// Structural validation of a rendered report: every schema key present
+/// and braces/brackets balanced. Returns the first problem found.
+pub fn validate_schema(json: &str) -> Result<(), String> {
+    for key in SCHEMA_KEYS {
+        if !json.contains(key) {
+            return Err(format!("missing key {key}"));
+        }
+    }
+    let mut depth = (0i64, 0i64);
+    let mut in_str = false;
+    for c in json.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '{' if !in_str => depth.0 += 1,
+            '}' if !in_str => depth.0 -= 1,
+            '[' if !in_str => depth.1 += 1,
+            ']' if !in_str => depth.1 -= 1,
+            _ => {}
+        }
+        if depth.0 < 0 || depth.1 < 0 {
+            return Err("unbalanced braces".into());
+        }
+    }
+    if depth != (0, 0) || in_str {
+        return Err("unbalanced braces or unterminated string".into());
+    }
+    Ok(())
+}
+
+/// Measures cache-off vs cache-on wall clock on a duplicate-heavy suite,
+/// running `repetitions` repetitions per setting and keeping the fastest.
+///
+/// Panics if any repetition's `SuiteRun` fingerprint deviates from the
+/// cache-off reference — a cache that changes results would be a
+/// miscompile, not an optimization.
+pub fn measure(
+    suite_seed: u64,
+    suite_scale: f64,
+    scheduler: SchedulerKind,
+    threads: usize,
+    repetitions: usize,
+) -> CacheReport {
+    let suite = Suite::generate(&SuiteConfig::duplicate_heavy(suite_seed, suite_scale));
+    let dup = suite.duplicate_stats();
+    let occ = OccupancyModel::vega_like();
+    let base_cfg = {
+        let mut c = PipelineConfig::paper(scheduler, 0);
+        c.aco.pass2_gate_cycles = 1;
+        c.with_host_threads(threads)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reps = repetitions.max(1);
+
+    let mut reference: Option<u64> = None;
+    let mut sample = |enabled: bool| -> CacheSample {
+        let cfg = base_cfg.with_cache(enabled);
+        let mut all_total_s = Vec::with_capacity(reps);
+        let mut best_total_s = f64::INFINITY;
+        let mut stats = CacheStats::default();
+        let mut checksum = 0;
+        for _ in 0..reps {
+            let (run, wall) = compile_suite_timed(&suite, &occ, &cfg);
+            checksum = suite_fingerprint(&run);
+            match reference {
+                None => reference = Some(checksum),
+                Some(want) => assert_eq!(
+                    checksum,
+                    want,
+                    "result drifted with cache {}: memoization must be a \
+                     pure wall-clock knob",
+                    if enabled { "on" } else { "off" }
+                ),
+            }
+            stats = run.cache;
+            all_total_s.push(wall.total_s);
+            best_total_s = best_total_s.min(wall.total_s);
+        }
+        CacheSample {
+            enabled,
+            all_total_s,
+            best_total_s,
+            stats,
+            checksum,
+        }
+    };
+    let off = sample(false);
+    let on = sample(true);
+
+    CacheReport {
+        cores,
+        scheduler,
+        suite_seed,
+        suite_scale,
+        kernels: suite.kernels.len(),
+        regions: dup.regions,
+        distinct_regions: dup.distinct,
+        dedup_ratio: dup.dedup_ratio(),
+        threads,
+        repetitions: reps,
+        off,
+        on,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_structurally_valid_and_fingerprints_agree() {
+        let report = measure(3, 0.004, SchedulerKind::ParallelAco, 2, 1);
+        assert!(report.fingerprints_agree());
+        assert_eq!(report.off.stats, CacheStats::default());
+        assert!(report.on.stats.hits > 0, "duplicate-heavy suite must hit");
+        assert!(report.hit_rate() > 0.0);
+        assert!(report.dedup_ratio >= 0.30);
+        let json = report.to_json();
+        validate_schema(&json).expect("schema-valid report");
+    }
+
+    #[test]
+    fn validate_schema_rejects_truncation_and_missing_keys() {
+        let report = measure(3, 0.004, SchedulerKind::BaseAmd, 1, 1);
+        let json = report.to_json();
+        let truncated = &json[..json.len() - 3];
+        assert!(validate_schema(truncated).is_err());
+        let gutted = json.replace("\"speedup\"", "\"sidewaysup\"");
+        assert!(validate_schema(&gutted).is_err());
+    }
+}

@@ -127,6 +127,31 @@ impl OccupancyModel {
         self.max_waves
     }
 
+    /// The model's full parameter vector, flattened for fingerprinting and
+    /// persistence: per-class `(budget, granule, per_wave_max)` in
+    /// [`RegClass::index`] order, then `max_waves`. [`Self::from_signature`]
+    /// inverts it.
+    pub fn signature(&self) -> [u32; REG_CLASS_COUNT * 3 + 1] {
+        let mut out = [0u32; REG_CLASS_COUNT * 3 + 1];
+        for (i, f) in self.files.iter().enumerate() {
+            out[i * 3] = f.budget;
+            out[i * 3 + 1] = f.granule;
+            out[i * 3 + 2] = f.per_wave_max;
+        }
+        out[REG_CLASS_COUNT * 3] = self.max_waves;
+        out
+    }
+
+    /// Rebuilds a model from a [`Self::signature`] vector.
+    pub fn from_signature(sig: [u32; REG_CLASS_COUNT * 3 + 1]) -> OccupancyModel {
+        OccupancyModel::custom(
+            [sig[0], sig[3]],
+            [sig[1], sig[4]],
+            [sig[2], sig[5]],
+            sig[REG_CLASS_COUNT * 3],
+        )
+    }
+
     /// Occupancy permitted by a single class at the given PRP.
     pub fn class_occupancy(&self, class: RegClass, prp: u32) -> Waves {
         self.files[class.index()].occupancy(prp, self.max_waves)
@@ -288,6 +313,17 @@ mod tests {
         assert_eq!(m.class_occupancy(RegClass::Vgpr, 16), 4);
         assert_eq!(m.class_occupancy(RegClass::Vgpr, 17), 3);
         assert_eq!(m.aprp(RegClass::Vgpr, 17), 21); // 64/3 = 21
+    }
+
+    #[test]
+    fn signature_roundtrips_every_model() {
+        for m in [
+            OccupancyModel::vega_like(),
+            OccupancyModel::unit(),
+            OccupancyModel::custom([31, 17], [3, 5], [20, 9], 7),
+        ] {
+            assert_eq!(OccupancyModel::from_signature(m.signature()), m);
+        }
     }
 
     #[test]

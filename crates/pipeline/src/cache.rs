@@ -1,0 +1,1239 @@
+//! Content-addressed memoization of region compilations.
+//!
+//! Template-instantiated kernels produce many *structurally identical*
+//! scheduling regions, and the whole per-region flow
+//! ([`compile_region`], [`crate::batch::compile_batch_group`]) is a pure
+//! function of `(DDG content, scheduling config, occupancy model)` — so a
+//! schedule computed once can be reused for every duplicate. The
+//! [`ScheduleCache`] keys entries by the canonical FNV-1a fingerprint of
+//! exactly those inputs ([`sched_ir::ddg_content_fingerprint`] plus the
+//! scheduling-relevant configuration) and guards every hit twice:
+//!
+//! 1. **Full structural equality** — the entry stores its DDG and config;
+//!    a hit requires [`Ddg::content_eq`] and exact config/machine-model
+//!    equality, so a 64-bit collision can never smuggle in a wrong
+//!    schedule.
+//! 2. **Re-certification** — the reused schedules are validated against
+//!    the *new* region instance (precedence/latency/single-issue via
+//!    [`sched_ir::Schedule::validate`], PRP recomputed from scratch,
+//!    occupancy and final-choice consistency). A tampered or stale entry
+//!    is bypassed, recomputed, and overwritten — never adopted.
+//!
+//! Because every adopted result is bitwise what a fresh run would have
+//! produced, the cache is *transparent*: `SuiteRun` golden fingerprints
+//! are identical with the cache on and off at any thread count
+//! (sched-verify's D004 check asserts this). The hit/miss/insert/bypass
+//! counters are the one exception — at `host_threads > 1` two workers may
+//! race to first-compile the same content, so counters are reported in
+//! [`crate::SuiteRun::cache`] but excluded from the suite fingerprint.
+//!
+//! # Concurrency
+//!
+//! The cache is shared read-mostly across the work-stealing host pool, and
+//! the vendored `parking_lot` offers no `RwLock`, so the store is sharded
+//! copy-on-write: each shard publishes an immutable `HashMap` snapshot
+//! through an `AtomicPtr` (reads are a single atomic load — lock-free),
+//! while inserts clone-and-swap the snapshot under a per-shard mutex.
+//! Retired snapshots are parked until the cache drops, so a reader holding
+//! yesterday's pointer is always reading live memory.
+//!
+//! # Persistence
+//!
+//! [`ScheduleCache::save_to`]/[`ScheduleCache::load_from`] persist solo
+//! entries as a hand-rolled line format (the workspace deliberately
+//! vendors no serializer — the `serde` stub's derives are no-ops). Loaded
+//! entries pass through the same equality + re-certification gates as
+//! in-memory ones, so a corrupted or hand-edited cache file can cost
+//! misses, never wrong schedules. Group entries are launch-geometry
+//! specific and are not persisted.
+
+use crate::batch::compile_batch_group;
+use crate::config::{PipelineConfig, SchedulerKind};
+use crate::region::{compile_region, FinalChoice, RegionCompilation};
+use aco::{batch_block_split, AcoConfig, AcoResult, PassStats};
+use gpu_sim::MemLayout;
+use list_sched::{Heuristic, ScheduleResult};
+use machine_model::OccupancyModel;
+use parking_lot::Mutex;
+use sched_ir::{ddg_content_fingerprint, textir, Cycle, Ddg, Fnv64, InstrId, Schedule};
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+use workloads::Kernel;
+
+/// Hit/miss/insert/bypass counters of one suite compilation (or one cache
+/// lifetime). A *bypass* is a lookup whose entry failed re-certification
+/// or structural equality and was recomputed instead of adopted.
+///
+/// Counters depend on execution interleaving at `host_threads > 1` (two
+/// workers can race to first-compile the same content), so they are
+/// reported alongside a [`crate::SuiteRun`] but excluded from its golden
+/// fingerprint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (equality + re-certification held).
+    pub hits: u64,
+    /// Lookups with no entry under the key.
+    pub misses: u64,
+    /// Entries written (first computations and self-healing overwrites).
+    pub inserts: u64,
+    /// Lookups whose entry was rejected by equality or re-certification.
+    pub bypasses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.bypasses
+    }
+
+    /// Fraction of lookups answered from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference `self - start` (for reporting one run's
+    /// activity on a longer-lived cache).
+    pub fn since(&self, start: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - start.hits,
+            misses: self.misses - start.misses,
+            inserts: self.inserts - start.inserts,
+            bypasses: self.bypasses - start.bypasses,
+        }
+    }
+}
+
+/// What a cache entry memoizes.
+///
+/// The variants differ in size, but a `Payload` only ever lives inside an
+/// `Arc<CacheEntry>` — one allocation per entry, never moved by value on
+/// a hot path — so boxing the large variant would add indirection for
+/// nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum Payload {
+    /// One solo region compilation.
+    Solo { ddg: Ddg, comp: RegionCompilation },
+    /// One cooperative batch group: per-member compilations in group
+    /// order (member DDGs stored for the equality check).
+    Group {
+        ddgs: Vec<Ddg>,
+        comps: Vec<RegionCompilation>,
+    },
+}
+
+/// One memoized compilation plus everything the equality gate compares.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    scheduler: SchedulerKind,
+    aco: AcoConfig,
+    revert: (u32, u32),
+    occ: OccupancyModel,
+    payload: Payload,
+}
+
+type Map = HashMap<u64, Arc<CacheEntry>>;
+
+/// One copy-on-write shard: `live` is the published snapshot (readers do
+/// one atomic load and walk an immutable map), `retired` parks superseded
+/// snapshots until the cache drops (a reader may still hold them).
+struct Shard {
+    live: AtomicPtr<Map>,
+    retired: Mutex<Vec<*mut Map>>,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            live: AtomicPtr::new(Box::into_raw(Box::default())),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<Arc<CacheEntry>> {
+        // SAFETY: `live` always points to a map published by `insert` (or
+        // `new`) and never freed before the shard drops; shared references
+        // to it are read-only.
+        let map = unsafe { &*self.live.load(Ordering::Acquire) };
+        map.get(&key).cloned()
+    }
+
+    fn insert(&self, key: u64, entry: Arc<CacheEntry>) {
+        let mut retired = self.retired.lock();
+        let old = self.live.load(Ordering::Relaxed);
+        // SAFETY: as in `get`; the mutex serializes writers, so `old` is
+        // the current snapshot and no other writer frees or replaces it.
+        let mut next: Map = unsafe { &*old }.clone();
+        next.insert(key, entry);
+        self.live
+            .store(Box::into_raw(Box::new(next)), Ordering::Release);
+        // The old snapshot may still be referenced by concurrent readers;
+        // park it until the whole cache drops.
+        retired.push(old);
+    }
+
+    fn len(&self) -> usize {
+        // SAFETY: as in `get`.
+        unsafe { &*self.live.load(Ordering::Acquire) }.len()
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` proves no reader or writer is active, so the
+        // live snapshot and every retired one can be reclaimed exactly once.
+        unsafe {
+            drop(Box::from_raw(self.live.load(Ordering::Relaxed)));
+            // The vendored parking_lot has no `get_mut`; locking in drop is
+            // uncontended by the `&mut self` guarantee.
+            for ptr in self.retired.lock().drain(..) {
+                drop(Box::from_raw(ptr));
+            }
+        }
+    }
+}
+
+// SAFETY: the raw pointers are only ever created from `Box::into_raw`,
+// dereferenced read-only while published, and freed exclusively in `Drop`
+// (which holds `&mut self`). All shared mutation goes through the atomic
+// pointer and the mutex, so moving or sharing a `Shard` across threads
+// cannot produce a data race.
+unsafe impl Send for Shard {}
+unsafe impl Sync for Shard {}
+
+const SHARD_COUNT: usize = 16;
+
+/// The content-addressed schedule cache (see module docs).
+pub struct ScheduleCache {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+impl Default for ScheduleCache {
+    fn default() -> ScheduleCache {
+        ScheduleCache::new()
+    }
+}
+
+impl ScheduleCache {
+    /// An empty cache.
+    pub fn new() -> ScheduleCache {
+        ScheduleCache {
+            shards: (0..SHARD_COUNT).map(|_| Shard::new()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// Whether the cache holds no entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, key: u64) -> &Shard {
+        // High bits pick the shard; the map uses the full key.
+        &self.shards[(key >> 59) as usize % SHARD_COUNT]
+    }
+
+    fn store(&self, key: u64, entry: CacheEntry) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.shard(key).insert(key, Arc::new(entry));
+    }
+
+    /// Compiles one solo region through the cache: adopt a certified hit,
+    /// otherwise run [`compile_region`] and memoize the result. The
+    /// returned compilation is bitwise what an uncached run produces.
+    pub fn compile_solo(
+        &self,
+        ddg: &Ddg,
+        occ: &OccupancyModel,
+        cfg: &PipelineConfig,
+    ) -> RegionCompilation {
+        let key = solo_key(ddg, occ, cfg);
+        match self.shard(key).get(key) {
+            Some(entry) => {
+                if let Payload::Solo {
+                    ddg: cached_ddg,
+                    comp,
+                } = &entry.payload
+                {
+                    if same_inputs(&entry, cfg, occ)
+                        && cached_ddg.content_eq(ddg)
+                        && certify_hit(ddg, occ, comp)
+                    {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return comp.clone();
+                    }
+                }
+                // Collision, config mismatch under a colliding key, or a
+                // tampered entry: never adopt — recompute and self-heal.
+                self.bypasses.fetch_add(1, Ordering::Relaxed);
+                let comp = compile_region(ddg, occ, cfg);
+                self.store(key, solo_entry(ddg, occ, cfg, &comp));
+                comp
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let comp = compile_region(ddg, occ, cfg);
+                self.store(key, solo_entry(ddg, occ, cfg, &comp));
+                comp
+            }
+        }
+    }
+
+    /// Compiles one cooperative batch group through the cache. The key
+    /// covers every member's content in group order (construction results
+    /// depend on the whole group), and a hit re-certifies every member
+    /// against its new region instance.
+    pub(crate) fn compile_group(
+        &self,
+        kernel: &Kernel,
+        group: &[usize],
+        occ: &OccupancyModel,
+        cfg: &PipelineConfig,
+    ) -> Vec<(usize, PipelineConfig, RegionCompilation)> {
+        let members: Vec<&Ddg> = group.iter().map(|&ri| &kernel.regions[ri]).collect();
+        let key = group_key(&members, occ, cfg);
+        if let Some(entry) = self.shard(key).get(key) {
+            if let Payload::Group { ddgs, comps } = &entry.payload {
+                let ok = same_inputs(&entry, cfg, occ)
+                    && ddgs.len() == members.len()
+                    && ddgs
+                        .iter()
+                        .zip(&members)
+                        .all(|(cached, new)| cached.content_eq(new))
+                    && comps
+                        .iter()
+                        .zip(&members)
+                        .all(|(comp, new)| certify_hit(new, occ, comp));
+                if ok {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return attach_group_cfgs(group, comps.clone(), cfg);
+                }
+            }
+            self.bypasses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let outcomes = compile_batch_group(kernel, group, occ, cfg);
+        self.store(
+            key,
+            CacheEntry {
+                scheduler: cfg.scheduler,
+                aco: cfg.aco,
+                revert: (cfg.revert_occupancy_gain, cfg.revert_length_penalty),
+                occ: *occ,
+                payload: Payload::Group {
+                    ddgs: members.into_iter().cloned().collect(),
+                    comps: outcomes.iter().map(|(_, _, c)| c.clone()).collect(),
+                },
+            },
+        );
+        outcomes
+    }
+
+    /// Writes every solo entry to `path` in the hand-rolled line format
+    /// (deterministic order: sorted by key). Group entries are skipped.
+    pub fn save_to(&self, path: &Path) -> io::Result<()> {
+        let mut entries: Vec<(u64, Arc<CacheEntry>)> = Vec::new();
+        for shard in &self.shards {
+            // SAFETY: as in `Shard::get`.
+            let map = unsafe { &*shard.live.load(Ordering::Acquire) };
+            for (&k, e) in map {
+                if matches!(e.payload, Payload::Solo { .. }) {
+                    entries.push((k, e.clone()));
+                }
+            }
+        }
+        entries.sort_by_key(|&(k, _)| k);
+        let mut out = io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "schedcache v1")?;
+        for (key, entry) in entries {
+            let Payload::Solo { ddg, comp } = &entry.payload else {
+                unreachable!("group entries filtered above")
+            };
+            writeln!(out, "key {key:#018x}")?;
+            write_cfg_line(&mut out, &entry)?;
+            let text = textir::to_text(ddg);
+            writeln!(out, "ddg {}", text.lines().count())?;
+            out.write_all(text.as_bytes())?;
+            write_comp(&mut out, comp)?;
+            writeln!(out, "end")?;
+        }
+        Ok(())
+    }
+
+    /// Loads a cache persisted by [`Self::save_to`]. Malformed files are
+    /// rejected with `InvalidData`; entries that are structurally sound
+    /// but wrong (hand-edited schedules, stale claims) survive loading and
+    /// are rejected at hit time by re-certification.
+    pub fn load_from(path: &Path) -> io::Result<ScheduleCache> {
+        let reader = io::BufReader::new(std::fs::File::open(path)?);
+        let lines: Vec<String> = reader.lines().collect::<io::Result<_>>()?;
+        let mut it = lines.into_iter();
+        let header = it.next().unwrap_or_default();
+        if header.trim() != "schedcache v1" {
+            return Err(bad_data("not a schedcache v1 file"));
+        }
+        let cache = ScheduleCache::new();
+        let mut it = it.peekable();
+        while let Some(line) = it.next() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let key = parse_prefixed(&line, "key ")?;
+            let key = u64::from_str_radix(key.trim_start_matches("0x"), 16)
+                .map_err(|_| bad_data("bad key"))?;
+            let cfg_line = it.next().ok_or_else(|| bad_data("missing cfg"))?;
+            let (scheduler, aco, revert, occ) = parse_cfg_line(&cfg_line)?;
+            let ddg_header = it.next().ok_or_else(|| bad_data("missing ddg"))?;
+            let n_lines: usize = parse_prefixed(&ddg_header, "ddg ")?
+                .parse()
+                .map_err(|_| bad_data("bad ddg line count"))?;
+            let mut text = String::new();
+            for _ in 0..n_lines {
+                let l = it.next().ok_or_else(|| bad_data("truncated ddg"))?;
+                text.push_str(&l);
+                text.push('\n');
+            }
+            let ddg = textir::parse(&text).map_err(|e| bad_data(&e.to_string()))?;
+            let comp = read_comp(&mut it, ddg.len())?;
+            match it.next().as_deref().map(str::trim) {
+                Some("end") => {}
+                _ => return Err(bad_data("missing entry terminator")),
+            }
+            cache.shard(key).insert(
+                key,
+                Arc::new(CacheEntry {
+                    scheduler,
+                    aco,
+                    revert,
+                    occ,
+                    payload: Payload::Solo { ddg, comp },
+                }),
+            );
+        }
+        Ok(cache)
+    }
+}
+
+/// Attaches the split-colony per-member configuration to cached group
+/// compilations, mirroring what [`compile_batch_group`] returns.
+fn attach_group_cfgs(
+    group: &[usize],
+    comps: Vec<RegionCompilation>,
+    cfg: &PipelineConfig,
+) -> Vec<(usize, PipelineConfig, RegionCompilation)> {
+    let split = batch_block_split(cfg.aco.blocks, group.len() as u32);
+    group
+        .iter()
+        .zip(comps)
+        .enumerate()
+        .map(|(pos, (&ri, comp))| {
+            let mut region_cfg = *cfg;
+            region_cfg.aco.blocks = split[pos];
+            (ri, region_cfg, comp)
+        })
+        .collect()
+}
+
+/// The scheduling-relevant config equality gate: everything a
+/// [`RegionCompilation`] can depend on. Host-thread count, base compile
+/// costs, batching policy (group membership is already in the key) and the
+/// cache knob itself are deliberately excluded.
+fn same_inputs(entry: &CacheEntry, cfg: &PipelineConfig, occ: &OccupancyModel) -> bool {
+    entry.scheduler == cfg.scheduler
+        && entry.aco == cfg.aco
+        && entry.revert == (cfg.revert_occupancy_gain, cfg.revert_length_penalty)
+        && entry.occ == *occ
+}
+
+fn solo_entry(
+    ddg: &Ddg,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+    comp: &RegionCompilation,
+) -> CacheEntry {
+    CacheEntry {
+        scheduler: cfg.scheduler,
+        aco: cfg.aco,
+        revert: (cfg.revert_occupancy_gain, cfg.revert_length_penalty),
+        occ: *occ,
+        payload: Payload::Solo {
+            ddg: ddg.clone(),
+            comp: comp.clone(),
+        },
+    }
+}
+
+/// In-pipeline re-certification of a reused compilation against the *new*
+/// region instance: schedule validity (precedence, latency, single issue),
+/// from-scratch PRP recomputation, occupancy and length claims, and
+/// final-choice consistency. Anything that fails here is bypassed, never
+/// adopted. (sched-verify independently re-runs its C001–C012 checks on
+/// every observed compilation — including cache hits — through the suite
+/// observer.)
+fn certify_hit(ddg: &Ddg, occ: &OccupancyModel, comp: &RegionCompilation) -> bool {
+    if comp.size != ddg.len() {
+        return false;
+    }
+    let claims_hold = |sched: &Schedule, order: &[InstrId], prp, occupancy, length| {
+        is_permutation(order, ddg.len())
+            && sched.validate(ddg).is_ok()
+            && reg_pressure::prp_of_order(ddg, order) == prp
+            && occ.occupancy(prp) == occupancy
+            && sched.length() == length
+    };
+    let h = &comp.heuristic;
+    if !claims_hold(&h.schedule, &h.order, h.prp, h.occupancy, h.length) {
+        return false;
+    }
+    if let Some(a) = &comp.aco {
+        if !claims_hold(&a.schedule, &a.order, a.prp, a.occupancy, a.length) {
+            return false;
+        }
+    }
+    let (src_occ, src_len) = match (comp.choice, &comp.aco) {
+        (FinalChoice::Aco, Some(a)) => (a.occupancy, a.length),
+        (FinalChoice::Aco, None) => return false,
+        (FinalChoice::Heuristic, _) => (h.occupancy, h.length),
+    };
+    comp.occupancy == src_occ && comp.length == src_len
+}
+
+fn is_permutation(order: &[InstrId], n: usize) -> bool {
+    if order.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for id in order {
+        match seen.get_mut(id.index()) {
+            Some(s) if !*s => *s = true,
+            _ => return false,
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------- keys --
+
+/// Folds the scheduling-relevant configuration into a hasher: scheduler
+/// kind, every `AcoConfig` field, the revert knobs, and the machine
+/// model's full parameter signature.
+fn hash_config(h: &mut Fnv64, cfg: &PipelineConfig, occ: &OccupancyModel) {
+    let kind = SchedulerKind::ALL
+        .iter()
+        .position(|k| *k == cfg.scheduler)
+        .expect("every kind is in ALL") as u64;
+    h.word(kind);
+    h.word(cfg.revert_occupancy_gain as u64);
+    h.word(cfg.revert_length_penalty as u64);
+    let a = &cfg.aco;
+    h.word(a.seed);
+    h.word(a.sequential_ants as u64);
+    h.word(a.blocks as u64);
+    h.word(a.threads_per_block as u64);
+    h.word(a.decay.to_bits());
+    h.word(a.q0.to_bits());
+    h.word(a.beta.to_bits());
+    h.word(a.initial_pheromone.to_bits());
+    h.word(a.deposit.to_bits());
+    h.word(a.tau_min.to_bits());
+    h.word(a.tau_max.to_bits());
+    h.word(a.termination.small as u64);
+    h.word(a.termination.medium as u64);
+    h.word(a.termination.large as u64);
+    h.word(a.termination.max_iterations as u64);
+    h.word(heuristic_index(a.heuristic));
+    h.word(a.optional_stall_budget.to_bits());
+    let t = &a.tuning;
+    h.word(match t.layout {
+        MemLayout::Soa => 0,
+        MemLayout::Aos => 1,
+    });
+    h.word(t.preallocate as u64);
+    h.word(t.batched_transfer as u64);
+    h.word(t.tight_ready_ub as u64);
+    h.word(t.wavefront_level_choice as u64);
+    h.word(t.stall_wavefront_fraction.to_bits());
+    h.word(t.early_wavefront_termination as u64);
+    h.word(t.per_wavefront_heuristics as u64);
+    h.word(a.pass2_gate_cycles as u64);
+    h.word(a.occupancy_cap.map_or(u64::MAX, |c| c as u64));
+    for w in occ.signature() {
+        h.word(w as u64);
+    }
+}
+
+fn heuristic_index(heur: Heuristic) -> u64 {
+    Heuristic::ALL
+        .iter()
+        .position(|h| *h == heur)
+        .expect("every heuristic is in ALL") as u64
+}
+
+fn solo_key(ddg: &Ddg, occ: &OccupancyModel, cfg: &PipelineConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.word(1); // entry-kind tag
+    hash_config(&mut h, cfg, occ);
+    h.word(ddg_content_fingerprint(ddg));
+    h.finish()
+}
+
+fn group_key(members: &[&Ddg], occ: &OccupancyModel, cfg: &PipelineConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.word(2); // entry-kind tag
+    hash_config(&mut h, cfg, occ);
+    h.word(members.len() as u64);
+    for ddg in members {
+        h.word(ddg_content_fingerprint(ddg));
+    }
+    h.finish()
+}
+
+// -------------------------------------------------------- persistence --
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("schedcache: {msg}"))
+}
+
+fn parse_prefixed<'a>(line: &'a str, prefix: &str) -> io::Result<&'a str> {
+    line.trim()
+        .strip_prefix(prefix)
+        .ok_or_else(|| bad_data(&format!("expected `{prefix}...`, got `{line}`")))
+}
+
+fn write_cfg_line(out: &mut impl Write, e: &CacheEntry) -> io::Result<()> {
+    let kind = SchedulerKind::ALL
+        .iter()
+        .position(|k| *k == e.scheduler)
+        .expect("every kind is in ALL");
+    let a = &e.aco;
+    let t = &a.tuning;
+    write!(
+        out,
+        "cfg {kind} {} {} {} {} {} {} {:x} {:x} {:x} {:x} {:x} {:x} {:x} \
+         {} {} {} {} {} {:x}",
+        e.revert.0,
+        e.revert.1,
+        a.seed,
+        a.sequential_ants,
+        a.blocks,
+        a.threads_per_block,
+        a.decay.to_bits(),
+        a.q0.to_bits(),
+        a.beta.to_bits(),
+        a.initial_pheromone.to_bits(),
+        a.deposit.to_bits(),
+        a.tau_min.to_bits(),
+        a.tau_max.to_bits(),
+        a.termination.small,
+        a.termination.medium,
+        a.termination.large,
+        a.termination.max_iterations,
+        heuristic_index(a.heuristic),
+        a.optional_stall_budget.to_bits(),
+    )?;
+    write!(
+        out,
+        " {} {} {} {} {} {:x} {} {} {} {}",
+        match t.layout {
+            MemLayout::Soa => 0,
+            MemLayout::Aos => 1,
+        },
+        t.preallocate as u8,
+        t.batched_transfer as u8,
+        t.tight_ready_ub as u8,
+        t.wavefront_level_choice as u8,
+        t.stall_wavefront_fraction.to_bits(),
+        t.early_wavefront_termination as u8,
+        t.per_wavefront_heuristics as u8,
+        a.pass2_gate_cycles,
+        a.occupancy_cap.map_or(-1i64, |c| c as i64),
+    )?;
+    for w in e.occ.signature() {
+        write!(out, " {w}")?;
+    }
+    writeln!(out)
+}
+
+fn parse_cfg_line(
+    line: &str,
+) -> io::Result<(SchedulerKind, AcoConfig, (u32, u32), OccupancyModel)> {
+    let body = parse_prefixed(line, "cfg ")?;
+    let toks: Vec<&str> = body.split_whitespace().collect();
+    if toks.len() != 30 + 7 {
+        return Err(bad_data(&format!(
+            "cfg expects 37 fields, got {}",
+            toks.len()
+        )));
+    }
+    let int =
+        |i: usize| -> io::Result<u64> { toks[i].parse().map_err(|_| bad_data("bad cfg integer")) };
+    let sint =
+        |i: usize| -> io::Result<i64> { toks[i].parse().map_err(|_| bad_data("bad cfg integer")) };
+    let float = |i: usize| -> io::Result<f64> {
+        u64::from_str_radix(toks[i], 16)
+            .map(f64::from_bits)
+            .map_err(|_| bad_data("bad cfg float"))
+    };
+    let scheduler = *SchedulerKind::ALL
+        .get(int(0)? as usize)
+        .ok_or_else(|| bad_data("bad scheduler index"))?;
+    let revert = (int(1)? as u32, int(2)? as u32);
+    let heuristic = *Heuristic::ALL
+        .get(int(18)? as usize)
+        .ok_or_else(|| bad_data("bad heuristic index"))?;
+    let aco = AcoConfig {
+        seed: int(3)?,
+        sequential_ants: int(4)? as u32,
+        blocks: int(5)? as u32,
+        threads_per_block: int(6)? as u32,
+        decay: float(7)?,
+        q0: float(8)?,
+        beta: float(9)?,
+        initial_pheromone: float(10)?,
+        deposit: float(11)?,
+        tau_min: float(12)?,
+        tau_max: float(13)?,
+        termination: aco::Termination {
+            small: int(14)? as u32,
+            medium: int(15)? as u32,
+            large: int(16)? as u32,
+            max_iterations: int(17)? as u32,
+        },
+        heuristic,
+        optional_stall_budget: float(19)?,
+        tuning: aco::GpuTuning {
+            layout: match int(20)? {
+                0 => MemLayout::Soa,
+                1 => MemLayout::Aos,
+                _ => return Err(bad_data("bad layout index")),
+            },
+            preallocate: int(21)? != 0,
+            batched_transfer: int(22)? != 0,
+            tight_ready_ub: int(23)? != 0,
+            wavefront_level_choice: int(24)? != 0,
+            stall_wavefront_fraction: float(25)?,
+            early_wavefront_termination: int(26)? != 0,
+            per_wavefront_heuristics: int(27)? != 0,
+        },
+        pass2_gate_cycles: int(28)? as u32,
+        occupancy_cap: match sint(29)? {
+            -1 => None,
+            c if c >= 0 => Some(c as u32),
+            _ => return Err(bad_data("bad occupancy cap")),
+        },
+    };
+    let mut sig = [0u32; 7];
+    for (i, s) in sig.iter_mut().enumerate() {
+        *s = int(30 + i)? as u32;
+    }
+    let occ = OccupancyModel::from_signature(sig);
+    Ok((scheduler, aco, revert, occ))
+}
+
+fn write_sres(out: &mut impl Write, tag: &str, r: &ScheduleResult) -> io::Result<()> {
+    write!(
+        out,
+        "{tag} {} {} {} {} :",
+        r.occupancy, r.length, r.prp[0], r.prp[1]
+    )?;
+    for id in 0..r.schedule.len() {
+        write!(out, " {}", r.schedule.cycle(InstrId(id as u32)))?;
+    }
+    writeln!(out)
+}
+
+fn read_sres(line: &str, tag: &str, n: usize) -> io::Result<ScheduleResult> {
+    let body = parse_prefixed(line, &format!("{tag} "))?;
+    let (head, cycles) = body
+        .split_once(':')
+        .ok_or_else(|| bad_data("missing cycle list"))?;
+    let head: Vec<&str> = head.split_whitespace().collect();
+    if head.len() != 4 {
+        return Err(bad_data("schedule result expects 4 claim fields"));
+    }
+    let int = |s: &str| -> io::Result<u32> { s.parse().map_err(|_| bad_data("bad integer")) };
+    let cycles: Vec<Cycle> = cycles
+        .split_whitespace()
+        .map(int)
+        .collect::<io::Result<_>>()?;
+    if cycles.len() != n {
+        return Err(bad_data("cycle list length mismatch"));
+    }
+    // Single-issue schedules have unique cycles, so the issue order is the
+    // ids sorted by cycle (ties broken by id for stability; real entries
+    // have none, and fabricated ones fail re-certification at hit time).
+    let mut order: Vec<InstrId> = (0..n as u32).map(InstrId).collect();
+    order.sort_by_key(|id| (cycles[id.index()], id.0));
+    Ok(ScheduleResult {
+        schedule: Schedule::from_cycles(cycles),
+        order,
+        prp: [int(head[2])?, int(head[3])?],
+        occupancy: int(head[0])?,
+        length: int(head[1])?,
+    })
+}
+
+fn write_pass(out: &mut impl Write, p: &PassStats) -> io::Result<()> {
+    writeln!(
+        out,
+        "pass {} {} {} {} {:x} {}",
+        p.iterations,
+        p.improved as u8,
+        p.hit_lb as u8,
+        p.best_cost,
+        p.time_us.to_bits(),
+        p.gated as u8
+    )
+}
+
+fn read_pass(line: &str) -> io::Result<PassStats> {
+    let toks: Vec<&str> = parse_prefixed(line, "pass ")?.split_whitespace().collect();
+    if toks.len() != 6 {
+        return Err(bad_data("pass stats expect 6 fields"));
+    }
+    Ok(PassStats {
+        iterations: toks[0].parse().map_err(|_| bad_data("bad iterations"))?,
+        improved: toks[1] != "0",
+        hit_lb: toks[2] != "0",
+        best_cost: toks[3].parse().map_err(|_| bad_data("bad best cost"))?,
+        time_us: u64::from_str_radix(toks[4], 16)
+            .map(f64::from_bits)
+            .map_err(|_| bad_data("bad pass time"))?,
+        gated: toks[5] != "0",
+    })
+}
+
+fn write_comp(out: &mut impl Write, c: &RegionCompilation) -> io::Result<()> {
+    writeln!(
+        out,
+        "comp {} {} {} {} {} {} {} {:x}",
+        c.size,
+        (c.choice == FinalChoice::Aco) as u8,
+        c.occupancy,
+        c.length,
+        c.pass1_processed as u8,
+        c.pass2_processed as u8,
+        c.reverted as u8,
+        c.sched_time_us.to_bits()
+    )?;
+    write_sres(out, "heur", &c.heuristic)?;
+    match &c.aco {
+        None => writeln!(out, "aco none"),
+        Some(a) => {
+            writeln!(
+                out,
+                "aco some {} {} {} {} {} {:x}",
+                a.prp[0],
+                a.prp[1],
+                a.occupancy,
+                a.length,
+                a.ops,
+                a.time_us.to_bits()
+            )?;
+            write_sres(out, "asched", &sres_of_aco(a))?;
+            write_sres(out, "initial", &a.initial)?;
+            write_pass(out, &a.pass1)?;
+            write_pass(out, &a.pass2)
+        }
+    }
+}
+
+/// Views an ACO result's schedule as a `ScheduleResult` for the shared
+/// writer (claims travel on the `aco some` line; these are ignored on
+/// read).
+fn sres_of_aco(a: &AcoResult) -> ScheduleResult {
+    ScheduleResult {
+        schedule: a.schedule.clone(),
+        order: a.order.clone(),
+        prp: a.prp,
+        occupancy: a.occupancy,
+        length: a.length,
+    }
+}
+
+fn read_comp(
+    it: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+    n: usize,
+) -> io::Result<RegionCompilation> {
+    let comp_line = it.next().ok_or_else(|| bad_data("missing comp"))?;
+    let toks: Vec<&str> = parse_prefixed(&comp_line, "comp ")?
+        .split_whitespace()
+        .collect();
+    if toks.len() != 8 {
+        return Err(bad_data("comp expects 8 fields"));
+    }
+    let heur_line = it.next().ok_or_else(|| bad_data("missing heuristic"))?;
+    let heuristic = read_sres(&heur_line, "heur", n)?;
+    let aco_line = it.next().ok_or_else(|| bad_data("missing aco"))?;
+    let aco_body = parse_prefixed(&aco_line, "aco ")?;
+    let aco = if aco_body.trim() == "none" {
+        None
+    } else {
+        let atoks: Vec<&str> = aco_body
+            .strip_prefix("some ")
+            .ok_or_else(|| bad_data("bad aco line"))?
+            .split_whitespace()
+            .collect();
+        if atoks.len() != 6 {
+            return Err(bad_data("aco line expects 6 fields"));
+        }
+        let asched_line = it.next().ok_or_else(|| bad_data("missing aco schedule"))?;
+        let asched = read_sres(&asched_line, "asched", n)?;
+        let initial_line = it.next().ok_or_else(|| bad_data("missing initial"))?;
+        let initial = read_sres(&initial_line, "initial", n)?;
+        let p1_line = it.next().ok_or_else(|| bad_data("missing pass1"))?;
+        let p2_line = it.next().ok_or_else(|| bad_data("missing pass2"))?;
+        let int = |s: &str| -> io::Result<u32> { s.parse().map_err(|_| bad_data("bad integer")) };
+        Some(AcoResult {
+            schedule: asched.schedule,
+            order: asched.order,
+            prp: [int(atoks[0])?, int(atoks[1])?],
+            occupancy: int(atoks[2])?,
+            length: int(atoks[3])?,
+            initial,
+            pass1: read_pass(&p1_line)?,
+            pass2: read_pass(&p2_line)?,
+            ops: atoks[4].parse().map_err(|_| bad_data("bad ops"))?,
+            time_us: u64::from_str_radix(atoks[5], 16)
+                .map(f64::from_bits)
+                .map_err(|_| bad_data("bad aco time"))?,
+        })
+    };
+    let int = |s: &str| -> io::Result<u64> { s.parse().map_err(|_| bad_data("bad integer")) };
+    Ok(RegionCompilation {
+        size: int(toks[0])? as usize,
+        heuristic,
+        aco,
+        choice: if toks[1] == "0" {
+            FinalChoice::Heuristic
+        } else {
+            FinalChoice::Aco
+        },
+        occupancy: int(toks[2])? as u32,
+        length: int(toks[3])? as u32,
+        pass1_processed: toks[4] != "0",
+        pass2_processed: toks[5] != "0",
+        sched_time_us: f64::from_bits(
+            u64::from_str_radix(toks[7], 16).map_err(|_| bad_data("bad sched time"))?,
+        ),
+        reverted: toks[6] != "0",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{Suite, SuiteConfig};
+
+    fn cfg(kind: SchedulerKind) -> PipelineConfig {
+        let mut c = PipelineConfig::paper(kind, 0);
+        c.aco.blocks = 4;
+        c.aco.pass2_gate_cycles = 1;
+        c
+    }
+
+    fn sample_ddg(seed: u64) -> Ddg {
+        workloads::patterns::sized(40, seed)
+    }
+
+    fn comps_eq(a: &RegionCompilation, b: &RegionCompilation) -> bool {
+        a.size == b.size
+            && a.choice == b.choice
+            && a.occupancy == b.occupancy
+            && a.length == b.length
+            && a.pass1_processed == b.pass1_processed
+            && a.pass2_processed == b.pass2_processed
+            && a.reverted == b.reverted
+            && a.sched_time_us.to_bits() == b.sched_time_us.to_bits()
+            && a.heuristic.schedule == b.heuristic.schedule
+            && a.heuristic.order == b.heuristic.order
+            && a.aco
+                .as_ref()
+                .map(|r| (&r.schedule, &r.order, r.ops, r.pass1, r.pass2))
+                == b.aco
+                    .as_ref()
+                    .map(|r| (&r.schedule, &r.order, r.ops, r.pass1, r.pass2))
+    }
+
+    #[test]
+    fn hit_returns_bitwise_identical_compilation() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::ParallelAco);
+        let ddg = sample_ddg(7);
+        let cache = ScheduleCache::new();
+        let fresh = compile_region(&ddg, &occ, &c);
+        let miss = cache.compile_solo(&ddg, &occ, &c);
+        let hit = cache.compile_solo(&ddg, &occ, &c);
+        assert!(comps_eq(&fresh, &miss));
+        assert!(comps_eq(&fresh, &hit));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                inserts: 1,
+                bypasses: 0
+            }
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_content_config_and_occ_never_collide_in_practice() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::ParallelAco);
+        let cache = ScheduleCache::new();
+        let a = sample_ddg(1);
+        let b = sample_ddg(2);
+        cache.compile_solo(&a, &occ, &c);
+        cache.compile_solo(&b, &occ, &c);
+        // Different seed => different key even for the same content.
+        let mut c2 = c;
+        c2.aco.seed = 99;
+        cache.compile_solo(&a, &occ, &c2);
+        // Different machine model likewise.
+        cache.compile_solo(&a, &machine_model::OccupancyModel::unit(), &c);
+        // Capped re-schedules key separately too.
+        let mut capped = c;
+        capped.aco.occupancy_cap = Some(2);
+        cache.compile_solo(&a, &occ, &capped);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 5);
+        assert_eq!(cache.len(), 5);
+    }
+
+    /// The tentpole's safety property: a tampered entry is detected by
+    /// re-certification, bypassed, recomputed, and overwritten — a
+    /// poisoned cache can cost misses, never wrong schedules.
+    #[test]
+    fn poisoned_entry_is_rejected_and_self_healed() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::ParallelAco);
+        let ddg = sample_ddg(11);
+        let cache = ScheduleCache::new();
+        let fresh = cache.compile_solo(&ddg, &occ, &c);
+        let key = solo_key(&ddg, &occ, &c);
+
+        // Tamper 1: an invalid schedule (precedence/latency broken by
+        // swapping the first two issue cycles).
+        let mut poisoned = fresh.clone();
+        let mut cycles = poisoned.heuristic.schedule.cycles().to_vec();
+        cycles.swap(0, 1);
+        poisoned.heuristic.schedule = Schedule::from_cycles(cycles);
+        cache
+            .shard(key)
+            .insert(key, Arc::new(solo_entry(&ddg, &occ, &c, &poisoned)));
+        let healed = cache.compile_solo(&ddg, &occ, &c);
+        assert!(
+            comps_eq(&fresh, &healed),
+            "bypass must recompute the true result"
+        );
+        assert_eq!(cache.stats().bypasses, 1);
+
+        // Self-heal: the overwrite restored a certified entry.
+        let again = cache.compile_solo(&ddg, &occ, &c);
+        assert!(comps_eq(&fresh, &again));
+        assert_eq!(cache.stats().bypasses, 1, "healed entry must hit cleanly");
+
+        // Tamper 2: a valid schedule with inflated claims (occupancy lie).
+        let mut liar = fresh.clone();
+        liar.occupancy += 1;
+        if let Some(a) = &mut liar.aco {
+            a.occupancy += 1;
+        } else {
+            liar.heuristic.occupancy += 1;
+        }
+        cache
+            .shard(key)
+            .insert(key, Arc::new(solo_entry(&ddg, &occ, &c, &liar)));
+        let healed = cache.compile_solo(&ddg, &occ, &c);
+        assert!(comps_eq(&fresh, &healed));
+        assert_eq!(cache.stats().bypasses, 2);
+
+        // Tamper 3: entry whose stored DDG doesn't match the lookup's
+        // (a forged key); content equality must reject it.
+        let other = sample_ddg(12);
+        let entry = solo_entry(&other, &occ, &c, &compile_region(&other, &occ, &c));
+        cache.shard(key).insert(key, Arc::new(entry));
+        let healed = cache.compile_solo(&ddg, &occ, &c);
+        assert!(comps_eq(&fresh, &healed));
+        assert_eq!(cache.stats().bypasses, 3);
+    }
+
+    #[test]
+    fn group_hits_reconstruct_split_colony_configs() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let mut c = cfg(SchedulerKind::BatchedParallelAco);
+        c.aco.blocks = 16;
+        let suite = Suite::generate(&SuiteConfig::scaled(7, 0.008));
+        let kernel = &suite.kernels[0];
+        let group: Vec<usize> = (0..kernel.regions.len().min(3)).collect();
+        assert!(group.len() >= 2, "need a real group");
+        let cache = ScheduleCache::new();
+        let fresh = compile_batch_group(kernel, &group, &occ, &c);
+        let miss = cache.compile_group(kernel, &group, &occ, &c);
+        let hit = cache.compile_group(kernel, &group, &occ, &c);
+        for (f, m) in [(&fresh, &miss), (&fresh, &hit)] {
+            assert_eq!(f.len(), m.len());
+            for ((ri_a, cfg_a, comp_a), (ri_b, cfg_b, comp_b)) in f.iter().zip(m.iter()) {
+                assert_eq!(ri_a, ri_b);
+                assert_eq!(cfg_a, cfg_b, "split-colony config must be reconstructed");
+                assert!(comps_eq(comp_a, comp_b));
+            }
+        }
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_solo_entries() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::ParallelAco);
+        let cache = ScheduleCache::new();
+        let ddgs: Vec<Ddg> = (1..5).map(sample_ddg).collect();
+        let fresh: Vec<RegionCompilation> = ddgs
+            .iter()
+            .map(|d| cache.compile_solo(d, &occ, &c))
+            .collect();
+        // A BaseAmd entry too (no ACO payload on its comp).
+        let base = cfg(SchedulerKind::BaseAmd);
+        let base_fresh = cache.compile_solo(&ddgs[0], &occ, &base);
+
+        let dir = std::env::temp_dir().join("schedcache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("roundtrip_{}.txt", std::process::id()));
+        cache.save_to(&path).unwrap();
+        let loaded = ScheduleCache::load_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), cache.len());
+
+        // Every lookup on the loaded cache is a certified hit with the
+        // exact original compilation.
+        for (d, f) in ddgs.iter().zip(&fresh) {
+            let got = loaded.compile_solo(d, &occ, &c);
+            assert!(comps_eq(f, &got));
+        }
+        assert!(comps_eq(
+            &base_fresh,
+            &loaded.compile_solo(&ddgs[0], &occ, &base)
+        ));
+        let s = loaded.stats();
+        assert_eq!((s.hits, s.misses, s.bypasses), (5, 0, 0));
+    }
+
+    #[test]
+    fn load_rejects_malformed_files() {
+        let dir = std::env::temp_dir().join("schedcache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("malformed_{}.txt", std::process::id()));
+        std::fs::write(&path, "not a cache\n").unwrap();
+        assert!(ScheduleCache::load_from(&path).is_err());
+        std::fs::write(&path, "schedcache v1\nkey 0x12\ngarbage\n").unwrap();
+        assert!(ScheduleCache::load_from(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hand_edited_cache_file_cannot_poison() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::BaseAmd);
+        let ddg = sample_ddg(23);
+        let cache = ScheduleCache::new();
+        let fresh = cache.compile_solo(&ddg, &occ, &c);
+        let dir = std::env::temp_dir().join("schedcache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("edited_{}.txt", std::process::id()));
+        cache.save_to(&path).unwrap();
+        // Lie about the final occupancy in the persisted claims.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let edited: Vec<String> = text
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("comp ") {
+                    let mut t: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+                    t[2] = (t[2].parse::<u32>().unwrap() + 1).to_string();
+                    format!("comp {}", t.join(" "))
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect();
+        std::fs::write(&path, edited.join("\n") + "\n").unwrap();
+        let loaded = ScheduleCache::load_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let got = loaded.compile_solo(&ddg, &occ, &c);
+        assert!(comps_eq(&fresh, &got), "edited claims must be bypassed");
+        assert_eq!(loaded.stats().bypasses, 1);
+    }
+
+    /// Concurrent readers and writers on the sharded store: no torn reads,
+    /// every thread sees its own inserts, and the cache survives drop with
+    /// retired snapshots outstanding.
+    #[test]
+    fn sharded_store_is_safe_under_concurrency() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::BaseAmd);
+        let ddgs: Vec<Ddg> = (0..16).map(|i| sample_ddg(100 + i)).collect();
+        let expected: Vec<RegionCompilation> =
+            ddgs.iter().map(|d| compile_region(d, &occ, &c)).collect();
+        let cache = ScheduleCache::new();
+        crossbeam::scope(|s| {
+            for t in 0..4 {
+                let (cache, ddgs, expected, c) = (&cache, &ddgs, &expected, &c);
+                let occ = &occ;
+                s.spawn(move |_| {
+                    for round in 0..3 {
+                        for (i, d) in ddgs.iter().enumerate() {
+                            // Stagger the order per thread so lookups and
+                            // inserts interleave differently.
+                            let i = (i + t * 5 + round) % ddgs.len();
+                            let got = cache.compile_solo(&ddgs[i], occ, c);
+                            assert!(comps_eq(&expected[i], &got));
+                            let _ = d;
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // Seeds may generate content-identical regions (that is the point
+        // of the cache), so count distinct fingerprints, not seeds.
+        let unique: std::collections::HashSet<u64> =
+            ddgs.iter().map(ddg_content_fingerprint).collect();
+        assert_eq!(cache.len(), unique.len());
+        let s = cache.stats();
+        assert_eq!(s.bypasses, 0);
+        assert_eq!(s.hits + s.misses, 4 * 3 * 16);
+    }
+}

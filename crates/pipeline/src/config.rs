@@ -82,6 +82,25 @@ impl Default for BatchingConfig {
     }
 }
 
+/// The content-addressed schedule cache knob (see [`crate::cache`]).
+///
+/// The cache is transparent — region compilation is a pure function of the
+/// cache key, every hit is re-certified against the new region instance,
+/// and suite golden fingerprints are identical on and off at any thread
+/// count — so it defaults to **on**. The knob exists for A/B timing
+/// (`BENCH_cache.json`) and for the D004 transparency check itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Consult and populate the schedule cache during suite compilation.
+    pub enabled: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig { enabled: true }
+    }
+}
+
 /// Configuration of the per-region compilation flow and its filters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
@@ -110,6 +129,11 @@ pub struct PipelineConfig {
     /// modeled time is byte-identical at any value. Values ≤ 1 compile
     /// inline on the calling thread.
     pub host_threads: usize,
+    /// Content-addressed schedule memoization across a suite compilation.
+    /// Like `host_threads`, purely a wall-clock knob: results are
+    /// byte-identical on and off (only the [`crate::CacheStats`] counters
+    /// differ).
+    pub cache: CacheConfig,
 }
 
 impl PipelineConfig {
@@ -133,12 +157,19 @@ impl PipelineConfig {
             base_cost_per_region_us: 980.0,
             base_cost_per_instr_us: 28.0,
             host_threads: 1,
+            cache: CacheConfig::default(),
         }
     }
 
     /// The same configuration compiling on `threads` host worker threads.
     pub fn with_host_threads(mut self, threads: usize) -> PipelineConfig {
         self.host_threads = threads;
+        self
+    }
+
+    /// The same configuration with the schedule cache switched on or off.
+    pub fn with_cache(mut self, enabled: bool) -> PipelineConfig {
+        self.cache = CacheConfig { enabled };
         self
     }
 

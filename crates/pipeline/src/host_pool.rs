@@ -26,6 +26,7 @@
 //! and every sibling empty can retire.
 
 use crate::batch::{compile_batch_group, plan_batches};
+use crate::cache::ScheduleCache;
 use crate::config::{PipelineConfig, SchedulerKind};
 use crate::region::{compile_region, RegionCompilation};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
@@ -114,24 +115,37 @@ pub fn plan_jobs(suite: &Suite, cfg: &PipelineConfig) -> Vec<RegionJob> {
 }
 
 /// Runs one job to completion. Pure: reads only the shared inputs, returns
-/// outcomes in the order the sequential compiler would observe them.
+/// outcomes in the order the sequential compiler would observe them. When a
+/// [`ScheduleCache`] is supplied the per-region flow is consulted through
+/// it — transparently, since every hit is equality-checked and re-certified
+/// (see [`crate::cache`]), so the outcomes are byte-identical either way.
 pub fn run_job(
     job: &RegionJob,
     suite: &Suite,
     occ: &OccupancyModel,
     cfg: &PipelineConfig,
+    cache: Option<&ScheduleCache>,
 ) -> Vec<RegionOutcome> {
     match job {
         RegionJob::Solo { kernel, region } => {
             let ddg = &suite.kernels[*kernel].regions[*region];
+            let comp = match cache {
+                Some(cache) => cache.compile_solo(ddg, occ, cfg),
+                None => compile_region(ddg, occ, cfg),
+            };
             vec![RegionOutcome {
                 region: *region,
                 cfg: *cfg,
-                comp: compile_region(ddg, occ, cfg),
+                comp,
             }]
         }
         RegionJob::Group { kernel, members } => {
-            compile_batch_group(&suite.kernels[*kernel], members, occ, cfg)
+            let kernel = &suite.kernels[*kernel];
+            let outcomes = match cache {
+                Some(cache) => cache.compile_group(kernel, members, occ, cfg),
+                None => compile_batch_group(kernel, members, occ, cfg),
+            };
+            outcomes
                 .into_iter()
                 .map(|(ri, rcfg, comp)| RegionOutcome {
                     region: ri,
@@ -153,9 +167,13 @@ pub fn run_jobs(
     cfg: &PipelineConfig,
     jobs: &[RegionJob],
     threads: usize,
+    cache: Option<&ScheduleCache>,
 ) -> Vec<Vec<RegionOutcome>> {
     if threads <= 1 || jobs.len() <= 1 {
-        return jobs.iter().map(|j| run_job(j, suite, occ, cfg)).collect();
+        return jobs
+            .iter()
+            .map(|j| run_job(j, suite, occ, cfg, cache))
+            .collect();
     }
     let injector = Injector::new();
     for i in 0..jobs.len() {
@@ -173,7 +191,7 @@ pub fn run_jobs(
             let (injector, stealers, slots) = (&injector, &stealers, &slots);
             s.spawn(move |_| {
                 while let Some(i) = find_task(worker, me, injector, stealers) {
-                    *slots[i].lock() = Some(run_job(&jobs[i], suite, occ, cfg));
+                    *slots[i].lock() = Some(run_job(&jobs[i], suite, occ, cfg, cache));
                 }
             });
         }
@@ -276,9 +294,10 @@ mod tests {
         ] {
             let c = cfg(kind);
             let jobs = plan_jobs(&suite, &c);
-            let inline = run_jobs(&suite, &occ, &c, &jobs, 1);
-            for threads in [2, 5] {
-                let pooled = run_jobs(&suite, &occ, &c, &jobs, threads);
+            let inline = run_jobs(&suite, &occ, &c, &jobs, 1, None);
+            let cache = ScheduleCache::new();
+            for (threads, cache) in [(2, None), (5, None), (3, Some(&cache))] {
+                let pooled = run_jobs(&suite, &occ, &c, &jobs, threads, cache);
                 assert_eq!(inline.len(), pooled.len());
                 for (a, b) in inline.iter().zip(&pooled) {
                     assert_eq!(a.len(), b.len());

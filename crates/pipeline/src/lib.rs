@@ -22,9 +22,15 @@
 //! * **host-parallel suite compilation** ([`host_pool`]) — a work-stealing
 //!   pool of host threads compiling the suite's region jobs concurrently
 //!   ([`PipelineConfig::host_threads`]), with a deterministic sequential
-//!   merge that keeps every result byte-identical at any thread count.
+//!   merge that keeps every result byte-identical at any thread count,
+//! * **content-addressed schedule memoization** ([`cache`]) — duplicate
+//!   regions (template-instantiated library kernels) compile once; every
+//!   cache hit is equality-checked and re-certified against the new
+//!   region instance, so results are byte-identical cache on and off
+//!   ([`PipelineConfig::cache`]).
 
 pub mod batch;
+pub mod cache;
 pub mod config;
 pub mod exec_model;
 pub mod host_pool;
@@ -32,11 +38,12 @@ pub mod region;
 pub mod suite_run;
 
 pub use batch::plan_batches;
-pub use config::{BatchingConfig, PipelineConfig, SchedulerKind};
+pub use cache::{CacheStats, ScheduleCache};
+pub use config::{BatchingConfig, CacheConfig, PipelineConfig, SchedulerKind};
 pub use exec_model::{benchmark_throughput, kernel_time_us, ExecModel};
 pub use host_pool::{plan_jobs as plan_suite_jobs, RegionJob};
 pub use region::{compile_region, FinalChoice, RegionCompilation};
 pub use suite_run::{
-    compile_suite, compile_suite_observed, compile_suite_timed, RegionRecord, SuiteRun,
-    SuiteWallclock,
+    compile_suite, compile_suite_observed, compile_suite_timed, compile_suite_with_cache,
+    RegionRecord, SuiteRun, SuiteWallclock,
 };

@@ -1,5 +1,6 @@
 //! Compiling an entire benchmark suite and aggregating its statistics.
 
+use crate::cache::{CacheStats, ScheduleCache};
 use crate::config::PipelineConfig;
 use crate::exec_model::{
     benchmark_throughput, kernel_time_us, schedule_fingerprint, unmodeled_factor, ExecModel,
@@ -65,6 +66,11 @@ pub struct SuiteRun {
     pub benchmark_throughput: Vec<f64>,
     /// Total compile time (base + scheduling), seconds.
     pub compile_time_s: f64,
+    /// Schedule-cache activity of this run (all zeros when the cache was
+    /// disabled). Counters depend on execution interleaving at
+    /// `host_threads > 1`, so they are deliberately **excluded** from the
+    /// suite fingerprint sched-verify computes over a run.
+    pub cache: CacheStats,
 }
 
 impl SuiteRun {
@@ -127,12 +133,38 @@ pub fn compile_suite_observed<F>(
 where
     F: FnMut(usize, usize, &Ddg, &PipelineConfig, &RegionCompilation),
 {
+    let cache = cfg.cache.enabled.then(ScheduleCache::new);
+    compile_suite_with_cache(suite, occ, cfg, cache.as_ref(), observe)
+}
+
+/// [`compile_suite_observed`] compiling through a caller-owned
+/// [`ScheduleCache`] (or none, overriding `cfg.cache`). Use this to share
+/// one cache across several suite compilations — e.g. repeated runs of the
+/// same suite, or a persisted cache reloaded from disk. The run's
+/// [`SuiteRun::cache`] counters report only this call's activity.
+pub fn compile_suite_with_cache<F>(
+    suite: &Suite,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+    cache: Option<&ScheduleCache>,
+    observe: F,
+) -> SuiteRun
+where
+    F: FnMut(usize, usize, &Ddg, &PipelineConfig, &RegionCompilation),
+{
+    // Snapshot before phase 1: the run's counters must cover the job
+    // phase's lookups, not just the merge's capped re-schedules.
+    let stats_start = cache.map(ScheduleCache::stats).unwrap_or_default();
     // Phase 1 — parallel: compile every job (solo region, or cooperative
     // batch group in batched mode) on the host pool. Jobs are pure; the
     // pool only affects wall-clock time.
     let jobs = plan_jobs(suite, cfg);
-    let results = run_jobs(suite, occ, cfg, &jobs, cfg.host_threads);
-    merge_job_results(suite, occ, cfg, &jobs, results, observe)
+    let results = run_jobs(suite, occ, cfg, &jobs, cfg.host_threads, cache);
+    let mut run = merge_job_results(suite, occ, cfg, &jobs, results, cache, observe);
+    run.cache = cache
+        .map(|c| c.stats().since(stats_start))
+        .unwrap_or_default();
+    run
 }
 
 /// Host wall-clock breakdown of one [`compile_suite_timed`] call, seconds.
@@ -163,13 +195,16 @@ pub fn compile_suite_timed(
 ) -> (SuiteRun, SuiteWallclock) {
     use std::time::Instant;
     let start = Instant::now();
+    let cache = cfg.cache.enabled.then(ScheduleCache::new);
+    let cache = cache.as_ref();
     let jobs = plan_jobs(suite, cfg);
     let plan_s = start.elapsed().as_secs_f64();
     let t_jobs = Instant::now();
-    let results = run_jobs(suite, occ, cfg, &jobs, cfg.host_threads);
+    let results = run_jobs(suite, occ, cfg, &jobs, cfg.host_threads, cache);
     let jobs_s = t_jobs.elapsed().as_secs_f64();
     let t_merge = Instant::now();
-    let run = merge_job_results(suite, occ, cfg, &jobs, results, |_, _, _, _, _| {});
+    let mut run = merge_job_results(suite, occ, cfg, &jobs, results, cache, |_, _, _, _, _| {});
+    run.cache = cache.map(ScheduleCache::stats).unwrap_or_default();
     let merge_s = t_merge.elapsed().as_secs_f64();
     (
         run,
@@ -193,6 +228,7 @@ fn merge_job_results<F>(
     cfg: &PipelineConfig,
     jobs: &[crate::host_pool::RegionJob],
     results: Vec<Vec<RegionOutcome>>,
+    cache: Option<&ScheduleCache>,
     mut observe: F,
 ) -> SuiteRun
 where
@@ -251,7 +287,13 @@ where
             }
             let mut capped_cfg = *cfg;
             capped_cfg.aco.occupancy_cap = Some(kmin);
-            let capped = compile_region(ddg, occ, &capped_cfg);
+            // The cap is part of the cache key (`occupancy_cap` is an
+            // `AcoConfig` field), so capped re-schedules memoize
+            // independently of the uncapped compilations.
+            let capped = match cache {
+                Some(cache) => cache.compile_solo(ddg, occ, &capped_cfg),
+                None => compile_region(ddg, occ, &capped_cfg),
+            };
             observe(k, ri, ddg, &capped_cfg, &capped);
             compile_us += capped.sched_time_us;
             c.sched_time_us += capped.sched_time_us;
@@ -327,6 +369,9 @@ where
         benchmark_time_us,
         benchmark_throughput: throughput,
         compile_time_s: compile_us / 1e6,
+        // Callers overwrite with the delta over their whole compilation
+        // (job phase + merge); the merge alone cannot see phase 1's start.
+        cache: CacheStats::default(),
     }
 }
 

@@ -140,12 +140,15 @@ impl DdgBuilder {
             }
         }
 
-        // Kahn's algorithm for topological sort + cycle detection.
+        // Kahn's algorithm for topological sort + cycle detection. The
+        // initial zero-indegree set doubles as the cached root set (in id
+        // order, matching what the old preds scan produced).
         let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
         let mut queue: VecDeque<InstrId> = (0..n as u32)
             .map(InstrId)
             .filter(|i| indeg[i.index()] == 0)
             .collect();
+        let roots: Vec<InstrId> = queue.iter().copied().collect();
         let mut topo = Vec::with_capacity(n);
         while let Some(id) = queue.pop_front() {
             topo.push(id);
@@ -165,6 +168,7 @@ impl DdgBuilder {
             succs,
             preds,
             topo,
+            roots,
         })
     }
 }

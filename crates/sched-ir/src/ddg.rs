@@ -18,6 +18,7 @@ pub struct Ddg {
     pub(crate) succs: Vec<Vec<(InstrId, u16)>>,
     pub(crate) preds: Vec<Vec<(InstrId, u16)>>,
     pub(crate) topo: Vec<InstrId>,
+    pub(crate) roots: Vec<InstrId>,
 }
 
 impl Ddg {
@@ -60,11 +61,13 @@ impl Ddg {
         self.succs.iter().map(Vec::len).sum()
     }
 
-    /// Instructions with no predecessors (ready at cycle 0).
+    /// Instructions with no predecessors (ready at cycle 0), in id order.
+    ///
+    /// Cached at build time: every ant construction seeds its ready list
+    /// from the roots, so deriving them would otherwise put a full preds
+    /// scan on the colony's hottest path.
     pub fn roots(&self) -> impl Iterator<Item = InstrId> + '_ {
-        (0..self.len() as u32)
-            .map(InstrId)
-            .filter(|&i| self.preds(i).is_empty())
+        self.roots.iter().copied()
     }
 
     /// Instructions with no successors.
@@ -82,6 +85,29 @@ impl Ddg {
     /// Iterates over all instruction ids in index order.
     pub fn ids(&self) -> impl Iterator<Item = InstrId> {
         (0..self.len() as u32).map(InstrId)
+    }
+
+    /// Whether two regions have identical *scheduling content*: the same
+    /// instruction count, the same Def/Use register sets per id, and the
+    /// same successor edges (targets and latencies) in the same stored
+    /// order.
+    ///
+    /// Instruction names are deliberately excluded: no scheduler reads
+    /// them and no schedule, pressure, or cost result depends on them, so
+    /// two regions that differ only in names schedule identically. Edge
+    /// *order* is included because ACO's tie-breaking walks the adjacency
+    /// lists in stored order — equality here must guarantee bitwise-equal
+    /// scheduler output, not just isomorphism.
+    pub fn content_eq(&self, other: &Ddg) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let regs_eq = self
+            .instrs
+            .iter()
+            .zip(&other.instrs)
+            .all(|(a, b)| a.defs() == b.defs() && a.uses() == b.uses());
+        regs_eq && self.succs == other.succs
     }
 
     /// Computes the transitive closure of the dependence relation.
@@ -193,6 +219,21 @@ mod tests {
         assert_eq!(g.roots().collect::<Vec<_>>(), vec![InstrId(0)]);
         assert_eq!(g.leaves().collect::<Vec<_>>(), vec![InstrId(3)]);
         assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn cached_roots_match_preds_scan_in_id_order() {
+        let mut b = DdgBuilder::new();
+        let a = b.instr("a", [], []);
+        let x = b.instr("b", [], []);
+        let y = b.instr("c", [], []);
+        b.instr("d", [], []);
+        b.edge(a, y, 1).unwrap();
+        b.edge(x, y, 1).unwrap();
+        let g = b.build().unwrap();
+        let scanned: Vec<InstrId> = g.ids().filter(|&i| g.preds(i).is_empty()).collect();
+        assert_eq!(g.roots().collect::<Vec<_>>(), scanned);
+        assert_eq!(scanned, vec![InstrId(0), InstrId(1), InstrId(3)]);
     }
 
     #[test]

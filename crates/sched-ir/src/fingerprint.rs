@@ -1,0 +1,175 @@
+//! Canonical content fingerprints of scheduling regions.
+//!
+//! The pipeline's schedule cache keys regions by *content*: two regions
+//! with the same instruction count, the same per-id Def/Use register
+//! sets, and the same successor edges in the same stored order produce
+//! bitwise-identical scheduler output, so a schedule computed for one can
+//! be reused for the other. [`ddg_content_fingerprint`] hashes exactly
+//! that content — walking nodes in the cached topological order so the
+//! hash also commits to the build-time canonicalization — and
+//! [`Ddg::content_eq`] is the full structural-equality check run on every
+//! hash match, so a 64-bit collision can never smuggle in a wrong
+//! schedule.
+//!
+//! Instruction *names* are deliberately excluded from both the hash and
+//! the equality check: no scheduler reads them, and no schedule,
+//! pressure, occupancy, or cost result depends on them. Template
+//! instantiation produces regions identical up to mnemonic suffixes;
+//! keying on names would needlessly miss those.
+//!
+//! The hash is 64-bit FNV-1a with the same constants as the golden suite
+//! fingerprints in `sched-verify` (which depends on this crate, so the
+//! accumulator is duplicated here rather than imported).
+
+use crate::ddg::Ddg;
+
+/// 64-bit FNV-1a accumulator (offset basis / prime per the reference
+/// parameters). Words are folded in little-endian byte order.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Fresh accumulator at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one 64-bit word, byte by byte.
+    #[inline]
+    pub fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+/// Canonical fingerprint of a region's scheduling content.
+///
+/// Hashes, in the cached topological order: each node's topo position,
+/// its raw id, its Def and Use register lists (class index + id, in list
+/// order), and its successor edges as `(topo position of target,
+/// latency)` in stored adjacency order — prefixed by the instruction and
+/// edge counts. Everything a scheduler's output can depend on is
+/// committed; instruction names are not (see module docs).
+pub fn ddg_content_fingerprint(ddg: &Ddg) -> u64 {
+    let mut topo_pos = vec![0u64; ddg.len()];
+    for (pos, id) in ddg.topo_order().iter().enumerate() {
+        topo_pos[id.index()] = pos as u64;
+    }
+    let mut h = Fnv64::new();
+    h.word(ddg.len() as u64);
+    h.word(ddg.edge_count() as u64);
+    for &id in ddg.topo_order() {
+        let i = ddg.instr(id);
+        h.word(topo_pos[id.index()]);
+        h.word(id.0 as u64);
+        h.word(i.defs().len() as u64);
+        for r in i.defs() {
+            h.word(r.class.index() as u64);
+            h.word(r.id as u64);
+        }
+        h.word(i.uses().len() as u64);
+        for r in i.uses() {
+            h.word(r.class.index() as u64);
+            h.word(r.id as u64);
+        }
+        let succs = ddg.succs(id);
+        h.word(succs.len() as u64);
+        for &(s, lat) in succs {
+            h.word(topo_pos[s.index()]);
+            h.word(lat as u64);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::instr::Reg;
+
+    fn chain(names: [&str; 3], lat: u16) -> Ddg {
+        let mut b = DdgBuilder::new();
+        let a = b.instr(names[0], [Reg::vgpr(0)], []);
+        let c = b.instr(names[1], [Reg::vgpr(1)], [Reg::vgpr(0)]);
+        let d = b.instr(names[2], [], [Reg::vgpr(1)]);
+        b.edge(a, c, lat).unwrap();
+        b.edge(c, d, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_name_blind() {
+        let a = chain(["ld", "add", "st"], 4);
+        let b = chain(["load_dword", "v_add", "store"], 4);
+        assert_eq!(ddg_content_fingerprint(&a), ddg_content_fingerprint(&b));
+        assert!(a.content_eq(&b));
+        assert!(b.content_eq(&a));
+    }
+
+    #[test]
+    fn fingerprint_separates_latency_registers_and_shape() {
+        let base = chain(["a", "b", "c"], 4);
+        let lat = chain(["a", "b", "c"], 5);
+        assert_ne!(
+            ddg_content_fingerprint(&base),
+            ddg_content_fingerprint(&lat)
+        );
+        assert!(!base.content_eq(&lat));
+
+        let mut b = DdgBuilder::new();
+        let x = b.instr("a", [Reg::sgpr(0)], []); // vgpr -> sgpr
+        let y = b.instr("b", [Reg::vgpr(1)], [Reg::vgpr(0)]);
+        let z = b.instr("c", [], [Reg::vgpr(1)]);
+        b.edge(x, y, 4).unwrap();
+        b.edge(y, z, 1).unwrap();
+        let regs = b.build().unwrap();
+        assert_ne!(
+            ddg_content_fingerprint(&base),
+            ddg_content_fingerprint(&regs)
+        );
+        assert!(!base.content_eq(&regs));
+
+        let mut b = DdgBuilder::new();
+        b.instr("a", [Reg::vgpr(0)], []);
+        b.instr("b", [Reg::vgpr(1)], [Reg::vgpr(0)]);
+        let indep = b.build().unwrap();
+        assert_ne!(
+            ddg_content_fingerprint(&base),
+            ddg_content_fingerprint(&indep)
+        );
+    }
+
+    #[test]
+    fn generated_duplicates_agree_and_distinct_seeds_differ() {
+        // Same construction twice -> same fingerprint; different latency
+        // profile -> different one. (Cross-crate generators are covered by
+        // the workloads duplicate_stats tests.)
+        let a = chain(["p", "q", "r"], 2);
+        let b = chain(["p", "q", "r"], 2);
+        assert_eq!(ddg_content_fingerprint(&a), ddg_content_fingerprint(&b));
+        let c = chain(["p", "q", "r"], 3);
+        assert_ne!(ddg_content_fingerprint(&a), ddg_content_fingerprint(&c));
+    }
+
+    #[test]
+    fn empty_region_fingerprint_is_stable() {
+        let a = DdgBuilder::new().build().unwrap();
+        let b = DdgBuilder::new().build().unwrap();
+        assert_eq!(ddg_content_fingerprint(&a), ddg_content_fingerprint(&b));
+        assert!(a.content_eq(&b));
+    }
+}

@@ -35,6 +35,7 @@ pub mod builder;
 pub mod ddg;
 pub mod dot;
 pub mod figure1;
+pub mod fingerprint;
 pub mod instr;
 pub mod schedule;
 pub mod textir;
@@ -42,5 +43,6 @@ pub mod textir;
 pub use bitmatrix::BitMatrix;
 pub use builder::{DdgBuilder, DdgError};
 pub use ddg::{Ddg, TransitiveClosure};
+pub use fingerprint::{ddg_content_fingerprint, Fnv64};
 pub use instr::{InstrId, Instruction, Reg, RegClass, REG_CLASS_COUNT};
 pub use schedule::{Cycle, Schedule, ScheduleError};

@@ -115,6 +115,55 @@ pub fn check_suite_thread_determinism(
     diags
 }
 
+/// Compiles `suite` with the schedule cache off (the reference) and on,
+/// at every `host_threads` value in `threads`, and reports a `D004` error
+/// for each cache-on run whose [`pipeline::SuiteRun`] fingerprint deviates
+/// from the cache-off reference at the same thread count.
+///
+/// This is the cache-transparency contract: content-addressed memoization
+/// must be a pure wall-clock optimization. Every adopted hit passed an
+/// exact content/config equality check plus re-certification, so the whole
+/// run — every region record, kernel occupancy, modeled time, throughput —
+/// must be byte-identical. (The [`pipeline::CacheStats`] counters are
+/// interleaving-dependent and deliberately excluded from the suite
+/// fingerprint; see `fingerprint.rs`.)
+pub fn check_cache_transparency(
+    suite: &Suite,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+    threads: &[usize],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for &t in threads {
+        let tcfg = cfg.with_host_threads(t);
+        let off = compile_suite(suite, occ, &tcfg.with_cache(false));
+        let on = compile_suite(suite, occ, &tcfg.with_cache(true));
+        let (off_fp, on_fp) = (suite_fingerprint(&off), suite_fingerprint(&on));
+        if on_fp != off_fp {
+            diags.push(Diagnostic::error(
+                codes::CACHE_NONTRANSPARENT,
+                Span::Region,
+                format!(
+                    "suite compilation ({:?}, {t} host threads) differs with \
+                     the schedule cache on: fingerprint {on_fp:#018x} vs \
+                     {off_fp:#018x} off (total length {} vs {}, total \
+                     occupancy {} vs {}; cache activity: {} hits, {} misses, \
+                     {} bypasses)",
+                    cfg.scheduler,
+                    on.total_length(),
+                    off.total_length(),
+                    on.total_occupancy(),
+                    off.total_occupancy(),
+                    on.cache.hits,
+                    on.cache.misses,
+                    on.cache.bypasses,
+                ),
+            ));
+        }
+    }
+    diags
+}
+
 /// Runs the simulated-GPU [`ParallelScheduler`] `runs` times with one
 /// configuration and reports a `D002` error for each run that deviates
 /// from the first.
@@ -191,5 +240,21 @@ mod tests {
             let diags = check_suite_thread_determinism(&suite, &occ, &cfg, &[1, 2, 5]);
             assert!(diags.is_empty(), "{}", crate::diag::render(&diags));
         }
+    }
+
+    #[test]
+    fn tiny_duplicate_heavy_suite_is_cache_transparent() {
+        use pipeline::SchedulerKind;
+        use workloads::SuiteConfig;
+        let suite = Suite::generate(&SuiteConfig::duplicate_heavy(3, 0.004));
+        let occ = OccupancyModel::vega_like();
+        let mut cfg = PipelineConfig::paper(SchedulerKind::ParallelAco, 0);
+        cfg.aco.blocks = 4;
+        cfg.aco.pass2_gate_cycles = 1;
+        let diags = check_cache_transparency(&suite, &occ, &cfg, &[1, 2]);
+        assert!(diags.is_empty(), "{}", crate::diag::render(&diags));
+        // The check is meaningful only if the cache actually fired.
+        let run = compile_suite(&suite, &occ, &cfg.with_cache(true));
+        assert!(run.cache.hits > 0, "duplicate-heavy suite must hit");
     }
 }

@@ -143,6 +143,9 @@ pub mod codes {
     /// Suite compilation produced different results at different
     /// `host_threads` values.
     pub const SUITE_THREAD_NONDETERMINISM: &str = "D003";
+    /// The schedule cache changed a suite result: compilation with the
+    /// cache on is not bitwise identical to compilation with it off.
+    pub const CACHE_NONTRANSPARENT: &str = "D004";
 }
 
 /// One verifier finding.

@@ -70,6 +70,13 @@ pub fn aco_fingerprint(r: &AcoResult) -> u64 {
 /// modeled times, as f64 bits), kernel occupancies and times, benchmark
 /// aggregates, and the modeled compile time. Two runs fingerprint equal
 /// only if the `SuiteRun`s are byte-identical.
+///
+/// `run.cache` (the schedule-cache hit/miss counters) is deliberately
+/// **not** hashed: at `host_threads > 1` two workers can race to
+/// first-compile the same content, making the counters
+/// interleaving-dependent, while everything the compilation *decides*
+/// stays bitwise identical — which is exactly what the D004
+/// cache-transparency check asserts with this fingerprint.
 pub fn suite_fingerprint(run: &SuiteRun) -> u64 {
     let mut h = Fnv::new();
     for r in &run.regions {

@@ -36,7 +36,8 @@ pub use certify::{
     certify_aco, certify_exact, certify_list, certify_schedule, recompute_prp, Claim,
 };
 pub use determinism::{
-    check_host_determinism, check_parallel_repeatability, check_suite_thread_determinism,
+    check_cache_transparency, check_host_determinism, check_parallel_repeatability,
+    check_suite_thread_determinism,
 };
 pub use diag::{codes, has_errors, render, Diagnostic, Severity, Span};
 pub use fingerprint::{aco_fingerprint, suite_fingerprint, Fnv};

@@ -24,4 +24,4 @@
 pub mod patterns;
 pub mod suite;
 
-pub use suite::{Benchmark, Kernel, Suite, SuiteConfig};
+pub use suite::{Benchmark, DuplicateStats, Kernel, Suite, SuiteConfig};

@@ -48,6 +48,16 @@ pub struct SuiteConfig {
     pub mean_regions_per_kernel: usize,
     /// Largest region size to generate (paper max: 2,223).
     pub max_region_size: usize,
+    /// Fraction of regions instantiated from a shared template pool
+    /// instead of generated fresh, in `[0, 1]`.
+    ///
+    /// Real suites are template-heavy: rocPRIM stamps out the same
+    /// `block_reduce`/`block_scan` bodies across hundreds of type/size
+    /// instantiations, so many scheduling regions are *content-identical*
+    /// (same DDG up to instruction names). `0.0` (the default everywhere
+    /// except [`SuiteConfig::duplicate_heavy`]) disables the post-pass
+    /// entirely — generation is byte-identical to pre-knob suites.
+    pub template_duplication: f64,
 }
 
 impl SuiteConfig {
@@ -60,6 +70,7 @@ impl SuiteConfig {
             kernels: 269,
             mean_regions_per_kernel: 676,
             max_region_size: 2223,
+            template_duplication: 0.0,
         }
     }
 
@@ -79,7 +90,20 @@ impl SuiteConfig {
                 as usize)
                 .max(4),
             max_region_size: ((full.max_region_size as f64 * s.sqrt()).round() as usize).max(120),
+            template_duplication: 0.0,
         }
+    }
+
+    /// A duplicate-heavy scaled suite: 60% of regions are template
+    /// instantiations, the rocPRIM-like shape the schedule cache targets.
+    pub fn duplicate_heavy(seed: u64, scale: f64) -> SuiteConfig {
+        SuiteConfig::scaled(seed, scale).with_template_duplication(0.6)
+    }
+
+    /// The same configuration with the template-duplication fraction set.
+    pub fn with_template_duplication(mut self, fraction: f64) -> SuiteConfig {
+        self.template_duplication = fraction.clamp(0.0, 1.0);
+        self
     }
 }
 
@@ -104,9 +128,10 @@ impl Suite {
     /// `config.seed`.
     pub fn generate(config: &SuiteConfig) -> Suite {
         let mut rng = SmallRng::seed_from_u64(config.seed);
-        let kernels: Vec<Kernel> = (0..config.kernels)
+        let mut kernels: Vec<Kernel> = (0..config.kernels)
             .map(|k| gen_kernel(k, config, &mut rng))
             .collect();
+        instantiate_templates(&mut kernels, config);
         let benchmarks = (0..config.benchmarks)
             .map(|i| {
                 // Most benchmarks drive one kernel; some drive 2-3 (e.g.
@@ -142,6 +167,98 @@ impl Suite {
             .iter()
             .enumerate()
             .flat_map(|(k, kern)| kern.regions.iter().enumerate().map(move |(r, d)| (k, r, d)))
+    }
+
+    /// Content-duplication statistics of the suite's regions, computed
+    /// from canonical DDG fingerprints with a full [`Ddg::content_eq`]
+    /// confirmation inside each fingerprint bucket (a 64-bit collision
+    /// would otherwise under-count distinct content).
+    pub fn duplicate_stats(&self) -> DuplicateStats {
+        let mut buckets: std::collections::HashMap<u64, Vec<&Ddg>> =
+            std::collections::HashMap::new();
+        let mut regions = 0usize;
+        for (_, _, ddg) in self.regions() {
+            regions += 1;
+            buckets
+                .entry(sched_ir::ddg_content_fingerprint(ddg))
+                .or_default()
+                .push(ddg);
+        }
+        let mut distinct = 0usize;
+        for group in buckets.values() {
+            // Within a bucket, count equivalence classes by full equality.
+            let mut reps: Vec<&Ddg> = Vec::new();
+            for ddg in group {
+                if !reps.iter().any(|r| r.content_eq(ddg)) {
+                    reps.push(ddg);
+                }
+            }
+            distinct += reps.len();
+        }
+        DuplicateStats { regions, distinct }
+    }
+}
+
+/// How much of a suite's region content is duplicated (see
+/// [`Suite::duplicate_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateStats {
+    /// Total scheduling regions.
+    pub regions: usize,
+    /// Regions with pairwise-distinct scheduling content.
+    pub distinct: usize,
+}
+
+impl DuplicateStats {
+    /// Fraction of regions that are content-duplicates of another region,
+    /// in `[0, 1]`: `1 - distinct/regions`.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.regions == 0 {
+            0.0
+        } else {
+            1.0 - self.distinct as f64 / self.regions as f64
+        }
+    }
+}
+
+/// Pool key of a region size: exact below 50 (tiny sizes repeat naturally,
+/// so per-size pools stay dense), band-preserving buckets above — `[50,100)`
+/// by tens, `[100,∞)` by fifties. Two sizes share a key only within one
+/// Table-1 size band, so template replacement preserves the suite's band
+/// distribution; without the buckets the continuous large-tail sizes would
+/// never pool, leaving the very regions that dominate compile time with
+/// no duplicates at all.
+fn template_pool_key(size: usize) -> usize {
+    match size {
+        0..=49 => size,
+        50..=99 => 50 + (size - 50) / 10 * 10,
+        _ => 100 + (size - 100) / 50 * 50,
+    }
+}
+
+/// The template-instantiation post-pass: with probability
+/// `template_duplication`, a region is replaced by a clone of an earlier
+/// similar-sized region (the "template"), mimicking a library suite
+/// stamping the same block primitive across many kernels. Pools are keyed
+/// by [`template_pool_key`], which never crosses a size band. Runs on its
+/// own RNG stream (derived from the seed) *after* generation, so a
+/// fraction of `0.0` leaves suites byte-identical to pre-knob generation.
+fn instantiate_templates(kernels: &mut [Kernel], config: &SuiteConfig) {
+    let p = config.template_duplication.clamp(0.0, 1.0);
+    if p <= 0.0 {
+        return;
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut pools: std::collections::HashMap<usize, Vec<Ddg>> = std::collections::HashMap::new();
+    for kernel in kernels.iter_mut() {
+        for region in &mut kernel.regions {
+            let pool = pools.entry(template_pool_key(region.len())).or_default();
+            if !pool.is_empty() && rng.gen::<f64>() < p {
+                *region = pool[rng.gen_range(0..pool.len())].clone();
+            } else {
+                pool.push(region.clone());
+            }
+        }
     }
 }
 
@@ -257,6 +374,61 @@ mod tests {
                 k.name
             );
         }
+    }
+
+    #[test]
+    fn duplicate_heavy_suites_pin_a_high_dedup_ratio() {
+        let stats = Suite::generate(&SuiteConfig::duplicate_heavy(5, 0.008)).duplicate_stats();
+        assert!(
+            stats.dedup_ratio() >= 0.30,
+            "duplicate-heavy suite must be >=30% duplicates, got {:.3} ({} distinct / {})",
+            stats.dedup_ratio(),
+            stats.distinct,
+            stats.regions
+        );
+        assert!(stats.distinct > 0 && stats.distinct < stats.regions);
+    }
+
+    #[test]
+    fn template_instantiation_is_deterministic_and_off_by_default() {
+        let cfg = SuiteConfig::duplicate_heavy(5, 0.008);
+        let a = Suite::generate(&cfg);
+        let b = Suite::generate(&cfg);
+        for ((_, _, x), (_, _, y)) in a.regions().zip(b.regions()) {
+            assert!(
+                x.content_eq(y),
+                "duplication post-pass must be deterministic"
+            );
+        }
+        // The knob defaults to off, where suites keep the generator's
+        // natural (near-total) content diversity; the post-pass only adds
+        // duplicates, never fresh content.
+        let off = Suite::generate(&SuiteConfig::scaled(5, 0.008)).duplicate_stats();
+        let on = a.duplicate_stats();
+        assert_eq!(off.regions, on.regions, "post-pass must not change counts");
+        assert!(
+            on.distinct < off.distinct,
+            "duplication must reduce distinct content: {} vs {}",
+            on.distinct,
+            off.distinct
+        );
+        // Band distribution is preserved (pool buckets never cross a
+        // Table-1 size band, though sizes inside a band may shift).
+        let bands = |s: &Suite| {
+            let mut c = [0usize; 3];
+            for (_, _, d) in s.regions() {
+                c[match d.len() {
+                    0..=49 => 0,
+                    50..=99 => 1,
+                    _ => 2,
+                }] += 1;
+            }
+            c
+        };
+        assert_eq!(
+            bands(&a),
+            bands(&Suite::generate(&SuiteConfig::scaled(5, 0.008)))
+        );
     }
 
     #[test]

@@ -34,8 +34,20 @@ if [[ "${1:-}" != "--fast" ]]; then
     ./target/release/gpu-aco-cli schedule "$smoke_dir/region.txt" "$smoke_dir/region2.txt" \
         --batch --blocks 8 > /dev/null
 
+    echo "==> schedule cache on/off smoke"
+    ./target/release/gpu-aco-cli schedule "$smoke_dir/region.txt" --blocks 8 \
+        --cache "$smoke_dir/sched.cache" --cache-stats > "$smoke_dir/cache_on.txt"
+    ./target/release/gpu-aco-cli schedule "$smoke_dir/region.txt" --blocks 8 \
+        --cache "$smoke_dir/sched.cache" --cache-stats 2>&1 > "$smoke_dir/cache_on2.txt" \
+        | grep -q "cache: 1 hits" || { echo "second cached run must hit"; exit 1; }
+    ./target/release/gpu-aco-cli schedule "$smoke_dir/region.txt" --blocks 8 \
+        --no-cache > "$smoke_dir/cache_off.txt"
+    cmp "$smoke_dir/cache_on.txt" "$smoke_dir/cache_off.txt"
+    cmp "$smoke_dir/cache_on.txt" "$smoke_dir/cache_on2.txt"
+
     echo "==> scripts/bench.sh --smoke"
-    scripts/bench.sh --smoke --out "$smoke_dir/BENCH_wallclock.json"
+    scripts/bench.sh --smoke --out "$smoke_dir/BENCH_wallclock.json" \
+        --cache-out "$smoke_dir/BENCH_cache.json"
 fi
 
 echo "==> cargo test --workspace -q"

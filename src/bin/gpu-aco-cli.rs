@@ -5,11 +5,22 @@
 //! gpu-aco-cli schedule <region.txt> [--scheduler amd|cp|luc|seq|par|host|exact]
 //!                      [--seed N] [--blocks N] [--threads N] [--unit-aprp]
 //!                      [--dot <out.dot>]
+//! gpu-aco-cli schedule <region.txt> --cache <cache.txt> [--cache-stats] [--no-cache]
 //! gpu-aco-cli schedule <region.txt>... --batch [--seed N] [--blocks N] [--unit-aprp]
 //! gpu-aco-cli generate <pattern> <size> [--seed N]     # emit a region file
 //! gpu-aco-cli inspect <region.txt>                     # bounds and stats
 //! gpu-aco-cli verify <region.txt> [--scheduler ...|all] [--pedantic]
 //! ```
+//!
+//! `--cache <cache.txt>` routes the compilation through the pipeline's
+//! content-addressed [`gpu_aco::compile::ScheduleCache`], persisted at the
+//! given path across invocations: a region whose DDG content and
+//! scheduling configuration match a stored entry skips the ACO search
+//! entirely (the hit is re-certified before adoption, so a tampered cache
+//! file can never smuggle in a wrong schedule). `--no-cache` runs the same
+//! pipeline path with the cache disabled — the printed schedule is
+//! bitwise identical either way. `--cache-stats` reports the
+//! hit/miss/insert/bypass counters on stderr.
 //!
 //! `--batch` schedules several regions in one cooperative multi-region
 //! launch pair (the paper's Section VII proposal): the colony's blocks are
@@ -51,6 +62,7 @@ const USAGE: &str = "usage:
   gpu-aco-cli schedule <region.txt> [--scheduler amd|cp|luc|seq|par|host|exact]
                        [--seed N] [--blocks N] [--threads N] [--unit-aprp]
                        [--dot <out.dot>]
+  gpu-aco-cli schedule <region.txt> --cache <cache.txt> [--cache-stats] [--no-cache]
   gpu-aco-cli schedule <region.txt>... --batch [--seed N] [--blocks N] [--unit-aprp]
   gpu-aco-cli generate <pattern> <size> [--seed N]
       patterns: reduction scan transform vector stencil sort gather random mixed
@@ -60,7 +72,12 @@ const USAGE: &str = "usage:
 
   --threads N   host worker threads for the host-parallel scheduler
                 (default: all available cores; results are identical at
-                any value)";
+                any value)
+  --cache F     compile via the pipeline's certified schedule cache,
+                persisted at F across invocations (schedulers amd|cp|seq|par);
+                hits skip the ACO search and are re-certified before adoption
+  --no-cache    same pipeline path with the cache disabled (identical output)
+  --cache-stats report hit/miss/insert/bypass counters on stderr";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -134,6 +151,12 @@ fn print_schedule(ddg: &Ddg, schedule: &Schedule) {
 fn schedule(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--batch") {
         return schedule_batched(args);
+    }
+    if args
+        .iter()
+        .any(|a| a == "--cache" || a == "--no-cache" || a == "--cache-stats")
+    {
+        return schedule_cached(args);
     }
     let path = args.first().ok_or("schedule needs a region file")?;
     let ddg = load_region(path)?;
@@ -253,10 +276,113 @@ fn schedule(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `schedule ... --cache/--no-cache`: compile through the pipeline's
+/// region flow so the content-addressed schedule cache can answer repeat
+/// regions. With `--cache FILE` the cache is loaded from (and saved back
+/// to) `FILE`; `--no-cache` runs the identical pipeline path without it,
+/// so the printed schedule is bitwise comparable between the two.
+fn schedule_cached(args: &[String]) -> Result<(), String> {
+    use gpu_aco::compile::{
+        compile_region, FinalChoice, PipelineConfig, ScheduleCache, SchedulerKind,
+    };
+    use std::path::Path;
+
+    let paths = positional_args(
+        args,
+        &["--scheduler", "--seed", "--blocks", "--threads", "--cache"],
+    );
+    let path = paths.first().ok_or("schedule needs a region file")?;
+    let ddg = load_region(path)?;
+    let occ = if args.iter().any(|a| a == "--unit-aprp") {
+        OccupancyModel::unit()
+    } else {
+        OccupancyModel::vega_like()
+    };
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--seed must be an integer")?
+        .unwrap_or(0);
+    let blocks: u32 = flag_value(args, "--blocks")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "--blocks must be an integer")?
+        .unwrap_or(32);
+    let which = flag_value(args, "--scheduler").unwrap_or_else(|| "par".into());
+    let kind = match which.as_str() {
+        "amd" => SchedulerKind::BaseAmd,
+        "cp" => SchedulerKind::CriticalPath,
+        "seq" => SchedulerKind::SequentialAco,
+        "par" => SchedulerKind::ParallelAco,
+        other => {
+            return Err(format!(
+                "the schedule cache supports --scheduler amd|cp|seq|par, not `{other}`"
+            ))
+        }
+    };
+    let mut cfg = PipelineConfig::paper(kind, seed);
+    cfg.aco.blocks = blocks;
+
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+    let cache_file = flag_value(args, "--cache");
+    let cache = match (&cache_file, no_cache) {
+        (Some(f), false) if Path::new(f).exists() => Some(
+            ScheduleCache::load_from(Path::new(f))
+                .map_err(|e| format!("loading cache {f}: {e}"))?,
+        ),
+        (Some(_), false) => Some(ScheduleCache::new()),
+        _ => None,
+    };
+    let comp = match &cache {
+        Some(c) => c.compile_solo(&ddg, &occ, &cfg),
+        None => compile_region(&ddg, &occ, &cfg),
+    };
+    let (sched, prp) = match comp.choice {
+        FinalChoice::Aco => {
+            let r = comp.aco.as_ref().expect("choice Aco implies an ACO result");
+            (&r.schedule, r.prp)
+        }
+        FinalChoice::Heuristic => (&comp.heuristic.schedule, comp.heuristic.prp),
+    };
+    sched
+        .validate(&ddg)
+        .map_err(|e| format!("internal error: invalid schedule: {e}"))?;
+    println!(
+        "pipeline {kind:?}: {} instructions in {} cycles ({} stalls), VGPR PRP {}, \
+         SGPR PRP {}, occupancy {} (kept {:?})",
+        ddg.len(),
+        sched.length(),
+        sched.stalls(),
+        prp[0],
+        prp[1],
+        occ.occupancy(prp),
+        comp.choice,
+    );
+    print_schedule(&ddg, sched);
+    if args.iter().any(|a| a == "--cache-stats") {
+        let s = cache.as_ref().map(ScheduleCache::stats).unwrap_or_default();
+        eprintln!(
+            "cache: {} hits, {} misses, {} inserts, {} bypasses",
+            s.hits, s.misses, s.inserts, s.bypasses
+        );
+    }
+    if let (Some(c), Some(f)) = (&cache, &cache_file) {
+        c.save_to(Path::new(f))
+            .map_err(|e| format!("writing cache {f}: {e}"))?;
+    }
+    Ok(())
+}
+
 /// `schedule ... --batch`: one cooperative launch pair for all the regions.
 fn schedule_batched(args: &[String]) -> Result<(), String> {
     use gpu_aco::scheduler::batch_block_split;
 
+    if args
+        .iter()
+        .any(|a| a == "--cache" || a == "--no-cache" || a == "--cache-stats")
+    {
+        return Err("the cache flags are not supported with --batch".into());
+    }
     let paths = positional_args(
         args,
         &["--scheduler", "--seed", "--blocks", "--threads", "--dot"],
