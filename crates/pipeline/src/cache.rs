@@ -548,7 +548,10 @@ fn is_permutation(order: &[InstrId], n: usize) -> bool {
 /// Folds the scheduling-relevant configuration into a hasher: scheduler
 /// kind, every `AcoConfig` field, the revert knobs, and the machine
 /// model's full parameter signature.
-fn hash_config(h: &mut Fnv64, cfg: &PipelineConfig, occ: &OccupancyModel) {
+///
+/// `pub(crate)` so the S007 drift check ([`crate::analyze`]) can probe
+/// that every field the passes read really moves this hash.
+pub(crate) fn hash_config(h: &mut Fnv64, cfg: &PipelineConfig, occ: &OccupancyModel) {
     let kind = SchedulerKind::ALL
         .iter()
         .position(|k| *k == cfg.scheduler)

@@ -101,6 +101,32 @@ impl Default for CacheConfig {
     }
 }
 
+/// The in-pipeline static-analysis knob (see [`crate::analyze`]).
+///
+/// When enabled, every compiled region is run through `sched-analyze`'s
+/// exact S-code passes — the DDG itself (S001–S004) and the winning
+/// schedule's claimed length/PRP against recomputed lower bounds
+/// (S005/S006) — plus a once-per-suite S007 cache-key coverage check, and
+/// the findings are aggregated into [`crate::AnalysisReport`]. Analysis is
+/// read-only: schedules, records, and golden fingerprints are bitwise
+/// identical on and off. Defaults to **off** because the closure-based
+/// passes cost real time on large suites; the CI gate and
+/// `gpu-aco-cli analyze` switch it on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalyzeConfig {
+    /// Run the S-code passes during suite compilation.
+    pub enabled: bool,
+}
+
+#[allow(clippy::derivable_impls)] // symmetry with CacheConfig; the default
+                                  // polarity is a deliberate choice, not an
+                                  // accident of Default
+impl Default for AnalyzeConfig {
+    fn default() -> AnalyzeConfig {
+        AnalyzeConfig { enabled: false }
+    }
+}
+
 /// Configuration of the per-region compilation flow and its filters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
@@ -134,6 +160,10 @@ pub struct PipelineConfig {
     /// byte-identical on and off (only the [`crate::CacheStats`] counters
     /// differ).
     pub cache: CacheConfig,
+    /// In-pipeline exact static analysis (S-code passes over every region
+    /// and schedule claim). Read-only: results are byte-identical on and
+    /// off; only [`crate::SuiteRun::analysis`] is populated.
+    pub analyze: AnalyzeConfig,
 }
 
 impl PipelineConfig {
@@ -158,6 +188,7 @@ impl PipelineConfig {
             base_cost_per_instr_us: 28.0,
             host_threads: 1,
             cache: CacheConfig::default(),
+            analyze: AnalyzeConfig::default(),
         }
     }
 
@@ -170,6 +201,13 @@ impl PipelineConfig {
     /// The same configuration with the schedule cache switched on or off.
     pub fn with_cache(mut self, enabled: bool) -> PipelineConfig {
         self.cache = CacheConfig { enabled };
+        self
+    }
+
+    /// The same configuration with in-pipeline static analysis switched on
+    /// or off.
+    pub fn with_analyze(mut self, enabled: bool) -> PipelineConfig {
+        self.analyze = AnalyzeConfig { enabled };
         self
     }
 

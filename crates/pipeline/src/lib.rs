@@ -27,8 +27,13 @@
 //!   regions (template-instantiated library kernels) compile once; every
 //!   cache hit is equality-checked and re-certified against the new
 //!   region instance, so results are byte-identical cache on and off
-//!   ([`PipelineConfig::cache`]).
+//!   ([`PipelineConfig::cache`]),
+//! * **in-pipeline static analysis** ([`analyze`]) — the `sched-analyze`
+//!   S-code passes run read-only over every compiled region plus a
+//!   once-per-suite cache-key coverage check, aggregated into
+//!   [`SuiteRun::analysis`] ([`PipelineConfig::analyze`]).
 
+pub mod analyze;
 pub mod batch;
 pub mod cache;
 pub mod config;
@@ -37,9 +42,10 @@ pub mod host_pool;
 pub mod region;
 pub mod suite_run;
 
+pub use analyze::{analyze_region, check_config_drift, AnalysisReport};
 pub use batch::plan_batches;
 pub use cache::{CacheStats, ScheduleCache};
-pub use config::{BatchingConfig, CacheConfig, PipelineConfig, SchedulerKind};
+pub use config::{AnalyzeConfig, BatchingConfig, CacheConfig, PipelineConfig, SchedulerKind};
 pub use exec_model::{benchmark_throughput, kernel_time_us, ExecModel};
 pub use host_pool::{plan_jobs as plan_suite_jobs, RegionJob};
 pub use region::{compile_region, FinalChoice, RegionCompilation};

@@ -1,5 +1,6 @@
 //! Compiling an entire benchmark suite and aggregating its statistics.
 
+use crate::analyze::{analyze_region, check_config_drift, AnalysisReport};
 use crate::cache::{CacheStats, ScheduleCache};
 use crate::config::PipelineConfig;
 use crate::exec_model::{
@@ -71,6 +72,10 @@ pub struct SuiteRun {
     /// `host_threads > 1`, so they are deliberately **excluded** from the
     /// suite fingerprint sched-verify computes over a run.
     pub cache: CacheStats,
+    /// In-pipeline static-analysis report: `Some` iff
+    /// [`PipelineConfig::analyze`] was enabled. Analysis is read-only, so
+    /// every other field is bitwise identical whether this ran or not.
+    pub analysis: Option<AnalysisReport>,
 }
 
 impl SuiteRun {
@@ -237,6 +242,29 @@ where
     let exec = ExecModel {
         max_occupancy: occ.max_waves(),
     };
+    // In-pipeline static analysis rides the observer path: it sees exactly
+    // the compilations the observer sees (including capped re-schedules)
+    // and never mutates one, so it cannot perturb the run.
+    let mut analysis = cfg.analyze.enabled.then(|| {
+        let mut rep = AnalysisReport::default();
+        rep.absorb(check_config_drift(cfg, occ));
+        rep
+    });
+    let analyze_comp = |rep: &mut Option<AnalysisReport>,
+                        k: usize,
+                        ri: usize,
+                        ddg: &Ddg,
+                        comp: &RegionCompilation| {
+        if let Some(rep) = rep.as_mut() {
+            rep.regions_analyzed += 1;
+            rep.absorb(
+                analyze_region(ddg, comp)
+                    .into_iter()
+                    .map(|f| f.in_region(k, ri))
+                    .collect(),
+            );
+        }
+    };
     let mut records = Vec::with_capacity(suite.region_count());
     let mut kernel_occupancy = Vec::with_capacity(suite.kernels.len());
     let mut kernel_times = Vec::with_capacity(suite.kernels.len());
@@ -253,6 +281,7 @@ where
             } in outcomes
             {
                 observe(k, region, &kernel.regions[region], &region_cfg, &comp);
+                analyze_comp(&mut analysis, k, region, &kernel.regions[region], &comp);
                 slots[region] = Some(comp);
             }
         }
@@ -295,6 +324,7 @@ where
                 None => compile_region(ddg, occ, &capped_cfg),
             };
             observe(k, ri, ddg, &capped_cfg, &capped);
+            analyze_comp(&mut analysis, k, ri, ddg, &capped);
             compile_us += capped.sched_time_us;
             c.sched_time_us += capped.sched_time_us;
             if let Some(a) = capped.aco {
@@ -372,6 +402,7 @@ where
         // Callers overwrite with the delta over their whole compilation
         // (job phase + merge); the merge alone cannot see phase 1's start.
         cache: CacheStats::default(),
+        analysis,
     }
 }
 
@@ -466,6 +497,32 @@ mod tests {
         assert_eq!(a.total_length(), b.total_length());
         assert_eq!(a.benchmark_throughput, b.benchmark_throughput);
         assert_eq!(a.compile_time_s, b.compile_time_s);
+    }
+
+    #[test]
+    fn analysis_is_read_only_and_clean_on_real_suites() {
+        let suite = tiny_suite();
+        let occ = OccupancyModel::vega_like();
+        let base_cfg = cfg(SchedulerKind::ParallelAco);
+        let off = compile_suite(&suite, &occ, &base_cfg);
+        let on = compile_suite(&suite, &occ, &base_cfg.with_analyze(true));
+        // Read-only: every modeled result is bitwise identical on and off.
+        assert_eq!(off.total_length(), on.total_length());
+        assert_eq!(off.total_occupancy(), on.total_occupancy());
+        assert_eq!(off.kernel_time_us, on.kernel_time_us);
+        assert_eq!(off.benchmark_time_us, on.benchmark_time_us);
+        assert_eq!(off.benchmark_throughput, on.benchmark_throughput);
+        assert_eq!(off.compile_time_s, on.compile_time_s);
+        assert!(off.analysis.is_none());
+        // The report exists, covered every observed compilation, and a
+        // healthy pipeline has nothing deny-worthy to report.
+        let rep = on.analysis.expect("analysis enabled");
+        assert!(rep.regions_analyzed >= suite.region_count());
+        assert!(
+            rep.is_clean(),
+            "real pipeline output flagged: {:?}",
+            rep.deny_findings
+        );
     }
 
     #[test]

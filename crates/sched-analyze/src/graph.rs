@@ -1,0 +1,200 @@
+//! The raw graph view all passes analyze.
+//!
+//! [`RegionGraph`] is deliberately *not* a [`Ddg`]: a `Ddg` is validated at
+//! construction (acyclic, deduplicated edges), which makes it impossible to
+//! even represent the defects S002 exists to catch. The analyzer therefore
+//! works on a plain edge list with optional source spans, built either from
+//! a validated `Ddg` ([`RegionGraph::from_ddg`]) or from a pre-validation
+//! [`RawRegion`] straight out of the text-IR parser
+//! ([`RegionGraph::from_raw`]), where cycles and self edges are
+//! representable.
+
+use sched_ir::textir::{RawRegion, SrcPos};
+use sched_ir::{Ddg, Reg};
+
+/// One dependence edge of a [`RegionGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionEdge {
+    /// Producer node index.
+    pub from: u32,
+    /// Consumer node index.
+    pub to: u32,
+    /// Latency in cycles.
+    pub latency: u16,
+    /// Source position of the `edge` line, when parsed from text IR.
+    pub span: Option<SrcPos>,
+}
+
+/// A scheduling region as a plain node/edge list (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct RegionGraph {
+    names: Vec<String>,
+    defs: Vec<Vec<Reg>>,
+    uses: Vec<Vec<Reg>>,
+    node_spans: Vec<Option<SrcPos>>,
+    edges: Vec<RegionEdge>,
+    /// Outgoing edge indices per node.
+    succs: Vec<Vec<usize>>,
+    /// Incoming edge indices per node.
+    preds: Vec<Vec<usize>>,
+}
+
+impl RegionGraph {
+    fn with_nodes(n: usize) -> RegionGraph {
+        RegionGraph {
+            names: Vec::with_capacity(n),
+            defs: Vec::with_capacity(n),
+            uses: Vec::with_capacity(n),
+            node_spans: Vec::with_capacity(n),
+            edges: Vec::new(),
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+        }
+    }
+
+    fn push_edge(&mut self, e: RegionEdge) {
+        let idx = self.edges.len();
+        self.succs[e.from as usize].push(idx);
+        self.preds[e.to as usize].push(idx);
+        self.edges.push(e);
+    }
+
+    /// The view of a validated [`Ddg`] (no spans; edges in stored order).
+    pub fn from_ddg(ddg: &Ddg) -> RegionGraph {
+        let mut g = RegionGraph::with_nodes(ddg.len());
+        for id in ddg.ids() {
+            let i = ddg.instr(id);
+            g.names.push(i.name().to_string());
+            g.defs.push(i.defs().to_vec());
+            g.uses.push(i.uses().to_vec());
+            g.node_spans.push(None);
+        }
+        for id in ddg.ids() {
+            for &(succ, lat) in ddg.succs(id) {
+                g.push_edge(RegionEdge {
+                    from: id.0,
+                    to: succ.0,
+                    latency: lat,
+                    span: None,
+                });
+            }
+        }
+        g
+    }
+
+    /// The view of a pre-validation [`RawRegion`], spans included. Cycles,
+    /// self edges, and duplicate edges survive into the view.
+    pub fn from_raw(raw: &RawRegion) -> RegionGraph {
+        let mut g = RegionGraph::with_nodes(raw.instrs.len());
+        for ri in &raw.instrs {
+            g.names.push(ri.name.clone());
+            g.defs.push(ri.defs.clone());
+            g.uses.push(ri.uses.clone());
+            g.node_spans.push(Some(ri.pos));
+        }
+        for e in &raw.edges {
+            g.push_edge(RegionEdge {
+                from: e.from,
+                to: e.to,
+                latency: e.latency,
+                span: Some(e.pos),
+            });
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the region has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Number of edges (duplicates counted).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Name of node `i`.
+    pub fn name(&self, i: u32) -> &str {
+        &self.names[i as usize]
+    }
+
+    /// Registers defined by node `i`.
+    pub fn defs(&self, i: u32) -> &[Reg] {
+        &self.defs[i as usize]
+    }
+
+    /// Registers used by node `i`.
+    pub fn uses(&self, i: u32) -> &[Reg] {
+        &self.uses[i as usize]
+    }
+
+    /// Source position of node `i`'s `instr` line, when known.
+    pub fn node_span(&self, i: u32) -> Option<SrcPos> {
+        self.node_spans[i as usize]
+    }
+
+    /// All edges, in input order.
+    pub fn edges(&self) -> &[RegionEdge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of node `i`.
+    pub fn succ_edges(&self, i: u32) -> impl Iterator<Item = &RegionEdge> + '_ {
+        self.succs[i as usize].iter().map(|&e| &self.edges[e])
+    }
+
+    /// Incoming edges of node `i`.
+    pub fn pred_edges(&self, i: u32) -> impl Iterator<Item = &RegionEdge> + '_ {
+        self.preds[i as usize].iter().map(|&e| &self.edges[e])
+    }
+
+    /// Out-degree of node `i`.
+    pub fn out_degree(&self, i: u32) -> usize {
+        self.succs[i as usize].len()
+    }
+
+    /// In-degree of node `i`.
+    pub fn in_degree(&self, i: u32) -> usize {
+        self.preds[i as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_ir::textir;
+    use sched_ir::DdgBuilder;
+
+    #[test]
+    fn ddg_view_preserves_structure() {
+        let mut b = DdgBuilder::new();
+        let a = b.instr("a", [Reg::vgpr(0)], []);
+        let c = b.instr("c", [], [Reg::vgpr(0)]);
+        b.edge(a, c, 4).unwrap();
+        let g = RegionGraph::from_ddg(&b.build().unwrap());
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.name(0), "a");
+        assert_eq!(g.defs(0), &[Reg::vgpr(0)]);
+        assert_eq!(g.uses(1), &[Reg::vgpr(0)]);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(1), 1);
+        let e = g.succ_edges(0).next().unwrap();
+        assert_eq!((e.from, e.to, e.latency, e.span), (0, 1, 4, None));
+    }
+
+    #[test]
+    fn raw_view_keeps_cycles_and_spans() {
+        let raw = textir::parse_raw("instr a\ninstr b\nedge 0 1 1\nedge 1 0 1").unwrap();
+        let g = RegionGraph::from_raw(&raw);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edges()[1].span, Some(SrcPos { line: 4, col: 1 }));
+        assert_eq!(g.node_span(0), Some(SrcPos { line: 1, col: 1 }));
+    }
+}

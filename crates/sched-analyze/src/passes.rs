@@ -1,0 +1,446 @@
+//! The exact S-code passes.
+//!
+//! | Code | Level    | Finding |
+//! |------|----------|---------|
+//! | S001 | pedantic | transitively redundant edge (exact reduction)    |
+//! | S002 | deny     | dependence cycle (minimal witness)               |
+//! | S003 | warn     | orphan node: no edges, no defs, no uses          |
+//! | S004 | deny     | edge latency disagrees with the machine model    |
+//! | S005 | deny     | claimed PRP below the exact static lower bound   |
+//! | S006 | deny     | claimed length below the critical-path bound     |
+//! | S007 | deny     | config field not covered by the cache key        |
+//!
+//! S001–S004 are *graph* passes over a [`RegionGraph`]
+//! ([`analyze_graph`]); S005/S006 check a scheduler's [`ScheduleClaim`]
+//! against recomputed lower bounds ([`check_claims`]); S007 is a generic
+//! coverage check over any config type ([`check_config_coverage`]).
+//!
+//! Every pass is exact: a finding is backed by a recomputed ground truth
+//! (a witness path, cycle, model latency, or lower bound), never a
+//! heuristic, so a deny finding is always actionable.
+
+use crate::diag::{codes, Anchor, Finding, Level};
+use crate::framework::{
+    closure, eff, length_lower_bound, multi_edge_longest_from, pressure_lower_bound, topo_or_cycle,
+    Topo,
+};
+use crate::graph::RegionGraph;
+use machine_model::{op_latency, OpKind};
+use sched_ir::REG_CLASS_COUNT;
+
+/// Maps a generated instruction name back to its [`OpKind`].
+///
+/// The workload generators name instructions `{mnemonic}_{index}`
+/// (`v_load_12`), and `link()` always labels out-edges with the producer's
+/// `op_latency`. A name matches when it *is* a mnemonic or extends one
+/// with `_`; anything else (hand-written names like figure1's `a`..`g`)
+/// is out of model and exempt from S004.
+pub fn op_kind_of_name(name: &str) -> Option<OpKind> {
+    OpKind::ALL.into_iter().find(|k| {
+        let m = k.mnemonic();
+        name.strip_prefix(m)
+            .is_some_and(|rest| rest.is_empty() || rest.starts_with('_'))
+    })
+}
+
+/// One transitively redundant edge, with the implied-path evidence
+/// (exported for the sched-verify lint migration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedundantEdge {
+    /// Producer node index.
+    pub from: u32,
+    /// Consumer node index.
+    pub to: u32,
+    /// The redundant edge's latency.
+    pub latency: u16,
+    /// Effective latency of the longest implying path (>= 2 edges).
+    pub implied: u64,
+}
+
+/// Exact transitive reduction: every edge implied by a multi-edge path of
+/// at least the same effective latency. Requires an acyclic graph
+/// (`order` from [`topo_or_cycle`]).
+pub fn redundant_edges(g: &RegionGraph, order: &[u32]) -> Vec<RedundantEdge> {
+    let mut out = Vec::new();
+    for src in 0..g.len() as u32 {
+        // A multi-edge path src -> .. -> b needs a second out-edge.
+        if g.out_degree(src) < 2 {
+            continue;
+        }
+        let (multi, _) = multi_edge_longest_from(g, order, src);
+        for e in g.succ_edges(src) {
+            if let Some(m) = multi[e.to as usize] {
+                if m >= eff(e.latency) {
+                    out.push(RedundantEdge {
+                        from: e.from,
+                        to: e.to,
+                        latency: e.latency,
+                        implied: m,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the graph passes (S001–S004) over a region.
+///
+/// On a cyclic region, S002 is reported and the path-based S001 is
+/// skipped (no topological order exists); S003/S004 still run.
+pub fn analyze_graph(g: &RegionGraph) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if g.is_empty() {
+        return findings;
+    }
+
+    // S003: orphan nodes.
+    for i in 0..g.len() as u32 {
+        if g.in_degree(i) == 0
+            && g.out_degree(i) == 0
+            && g.defs(i).is_empty()
+            && g.uses(i).is_empty()
+        {
+            findings.push(
+                Finding::new(
+                    codes::ORPHAN,
+                    Level::Warn,
+                    Anchor::Node(i),
+                    format!(
+                        "node {i} (`{}`) has no dependences, defs, or uses: it \
+                         constrains nothing and schedules anywhere",
+                        g.name(i)
+                    ),
+                )
+                .with_span(g.node_span(i)),
+            );
+        }
+    }
+
+    // S004: edge latencies vs the machine model.
+    for e in g.edges() {
+        if let Some(kind) = op_kind_of_name(g.name(e.from)) {
+            let expected = op_latency(kind);
+            if e.latency != expected {
+                findings.push(
+                    Finding::new(
+                        codes::LATENCY_MODEL,
+                        Level::Deny,
+                        Anchor::Edge {
+                            from: e.from,
+                            to: e.to,
+                        },
+                        format!(
+                            "edge {} -> {} has latency {} but producer `{}` is a \
+                             {:?} with model latency {}",
+                            e.from,
+                            e.to,
+                            e.latency,
+                            g.name(e.from),
+                            kind,
+                            expected
+                        ),
+                    )
+                    .with_span(e.span),
+                );
+            }
+        }
+    }
+
+    match topo_or_cycle(g) {
+        Topo::Cyclic(witness) => {
+            let span = g
+                .succ_edges(*witness.last().expect("witness is non-empty"))
+                .find(|e| e.to == witness[0])
+                .and_then(|e| e.span);
+            let msg = if witness.len() == 1 {
+                format!("node {} depends on itself (self edge)", witness[0])
+            } else {
+                format!(
+                    "the dependence relation is cyclic: no schedule can order \
+                     {} nodes that each transitively wait on the others",
+                    witness.len()
+                )
+            };
+            findings.push(
+                Finding::new(codes::CYCLE, Level::Deny, Anchor::Cycle(witness), msg)
+                    .with_span(span),
+            );
+        }
+        Topo::Acyclic(order) => {
+            // S001: exact transitive reduction.
+            for r in redundant_edges(g, &order) {
+                let span = g
+                    .succ_edges(r.from)
+                    .find(|e| e.to == r.to && e.latency == r.latency)
+                    .and_then(|e| e.span);
+                findings.push(
+                    Finding::new(
+                        codes::TRANSITIVE_REDUNDANT,
+                        Level::Pedantic,
+                        Anchor::Edge {
+                            from: r.from,
+                            to: r.to,
+                        },
+                        format!(
+                            "edge {} -> {} (latency {}, effective {}) is implied by a \
+                             longer path of effective latency {}: removing it cannot \
+                             change any schedule",
+                            r.from,
+                            r.to,
+                            r.latency,
+                            eff(r.latency),
+                            r.implied
+                        ),
+                    )
+                    .with_span(span),
+                );
+            }
+        }
+    }
+    findings
+}
+
+/// What a scheduler claims about a schedule of the region, for S005/S006.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleClaim {
+    /// Claimed schedule length in cycles.
+    pub length: u64,
+    /// Claimed peak register pressure per class.
+    pub prp: [u32; REG_CLASS_COUNT],
+    /// Which scheduler made the claim (for messages).
+    pub source: &'static str,
+}
+
+/// Names of the claim anchors, indexed like `ScheduleClaim::prp`.
+const PRP_CLAIMS: [&str; REG_CLASS_COUNT] = ["prp_vgpr", "prp_sgpr"];
+
+/// Checks a schedule's claimed metrics against recomputed exact lower
+/// bounds (S005 register pressure, S006 length). A claim *below* a lower
+/// bound is infeasible: no legal schedule achieves it, so the scheduler
+/// (or the metric plumbing) is lying. Cyclic regions return no findings —
+/// S002 already denies them and no bounds exist.
+pub fn check_claims(g: &RegionGraph, claim: &ScheduleClaim) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Topo::Acyclic(order) = topo_or_cycle(g) else {
+        return findings;
+    };
+    let length_lb = length_lower_bound(g, &order);
+    if claim.length < length_lb {
+        findings.push(Finding::new(
+            codes::LENGTH_INFEASIBLE,
+            Level::Deny,
+            Anchor::Claim("schedule_length"),
+            format!(
+                "{} claims schedule length {} but the critical-path lower bound \
+                 is {}: the claim is infeasible",
+                claim.source, claim.length, length_lb
+            ),
+        ));
+    }
+    let reach = closure(g, &order);
+    let prp_lb = pressure_lower_bound(g, &reach);
+    for c in 0..REG_CLASS_COUNT {
+        if claim.prp[c] < prp_lb[c] {
+            findings.push(Finding::new(
+                codes::PRP_INFEASIBLE,
+                Level::Deny,
+                Anchor::Claim(PRP_CLAIMS[c]),
+                format!(
+                    "{} claims peak pressure {} but the static cut bound forces \
+                     at least {} simultaneously live registers of that class",
+                    claim.source, claim.prp[c], prp_lb[c]
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// One mutation probe of a config type for S007: flipping `field` must
+/// change the fingerprint.
+pub struct ConfigProbe<C> {
+    /// Name of the config field the probe perturbs.
+    pub field: &'static str,
+    /// Sets the field to a value different from any default.
+    pub mutate: fn(&mut C),
+}
+
+/// S007: checks that a fingerprint function covers every probed config
+/// field. For each probe, the config is cloned, mutated, and
+/// re-fingerprinted; an unchanged fingerprint means a scheduling-relevant
+/// field is missing from the cache key, so stale cached schedules could be
+/// served for a different configuration.
+pub fn check_config_coverage<C: Clone>(
+    base: &C,
+    probes: &[ConfigProbe<C>],
+    fingerprint: impl Fn(&C) -> u64,
+) -> Vec<Finding> {
+    let base_fp = fingerprint(base);
+    let mut findings = Vec::new();
+    for probe in probes {
+        let mut mutated = base.clone();
+        (probe.mutate)(&mut mutated);
+        if fingerprint(&mutated) == base_fp {
+            findings.push(Finding::new(
+                codes::CONFIG_DRIFT,
+                Level::Deny,
+                Anchor::ConfigField(probe.field),
+                format!(
+                    "mutating config field `{}` leaves the cache fingerprint at \
+                     {base_fp:#018x}: cached schedules would be reused across \
+                     configs that schedule differently",
+                    probe.field
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched_ir::textir;
+
+    fn graph(text: &str) -> RegionGraph {
+        RegionGraph::from_raw(&textir::parse_raw(text).unwrap())
+    }
+
+    fn codes_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn op_kind_mapping_requires_separator_or_exact_match() {
+        assert_eq!(op_kind_of_name("v_load_12"), Some(OpKind::VMemLoad));
+        assert_eq!(op_kind_of_name("v_load"), Some(OpKind::VMemLoad));
+        assert_eq!(op_kind_of_name("v_loadx"), None);
+        assert_eq!(op_kind_of_name("ds_op_0"), Some(OpKind::Lds));
+        assert_eq!(op_kind_of_name("a"), None);
+        assert_eq!(op_kind_of_name("mul"), None);
+    }
+
+    #[test]
+    fn figure1_is_clean() {
+        let g = RegionGraph::from_ddg(&sched_ir::figure1::ddg());
+        assert!(analyze_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn s001_fires_only_on_truly_redundant_edges() {
+        // Direct edge eff 2 vs path eff 1+1=2: redundant (equal suffices).
+        let g = graph("instr a\ninstr b\ninstr c\nedge 0 1 1\nedge 1 2 1\nedge 0 2 2");
+        let f = analyze_graph(&g);
+        assert_eq!(codes_of(&f), vec![codes::TRANSITIVE_REDUNDANT]);
+        assert_eq!(f[0].anchor, Anchor::Edge { from: 0, to: 2 });
+        assert_eq!(f[0].level, Level::Pedantic);
+        assert_eq!(f[0].span, Some(textir::SrcPos { line: 6, col: 1 }));
+        // Direct edge eff 3 beats the path: necessary, clean.
+        let g = graph("instr a\ninstr b\ninstr c\nedge 0 1 1\nedge 1 2 1\nedge 0 2 3");
+        assert!(analyze_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn s001_credits_zero_latency_edges_at_effective_one() {
+        // The old heuristic summed raw latencies (0 + 0 = 0 < 2) and missed
+        // this; single-issue semantics make the path cost 2 cycles.
+        let g = graph("instr a\ninstr b\ninstr c\nedge 0 1 0\nedge 1 2 0\nedge 0 2 2");
+        assert_eq!(
+            codes_of(&analyze_graph(&g)),
+            vec![codes::TRANSITIVE_REDUNDANT]
+        );
+    }
+
+    #[test]
+    fn s002_reports_a_minimal_witness_and_suppresses_s001() {
+        let g = graph("instr a\ninstr b\ninstr c\nedge 0 1 1\nedge 1 2 1\nedge 2 0 1");
+        let f = analyze_graph(&g);
+        assert_eq!(codes_of(&f), vec![codes::CYCLE]);
+        assert_eq!(f[0].level, Level::Deny);
+        match &f[0].anchor {
+            Anchor::Cycle(w) => assert_eq!(w.len(), 3),
+            other => panic!("expected a cycle anchor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn s003_flags_orphans_but_not_constrained_or_reg_carrying_nodes() {
+        let g = graph("instr a defs v0\ninstr orphan\ninstr b uses v0\nedge 0 2 1");
+        let f = analyze_graph(&g);
+        assert_eq!(codes_of(&f), vec![codes::ORPHAN]);
+        assert_eq!(f[0].anchor, Anchor::Node(1));
+        // A node with only a use is not an orphan: it extends a live range.
+        let g = graph("instr a defs v0\ninstr reader uses v0");
+        assert!(analyze_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn s004_checks_model_latency_for_mnemonic_names_only() {
+        let g = graph("instr v_load_0 defs v0\ninstr v_alu_1 uses v0\nedge 0 1 63");
+        let f = analyze_graph(&g);
+        assert_eq!(codes_of(&f), vec![codes::LATENCY_MODEL]);
+        assert!(
+            f[0].message.contains("model latency 64"),
+            "{}",
+            f[0].message
+        );
+        // Correct latency: clean.
+        let g = graph("instr v_load_0 defs v0\ninstr v_alu_1 uses v0\nedge 0 1 64");
+        assert!(analyze_graph(&g).is_empty());
+        // Unknown names are out of model.
+        let g = graph("instr mystery defs v0\ninstr other uses v0\nedge 0 1 63");
+        assert!(analyze_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn claims_at_the_bounds_pass_and_below_them_deny() {
+        // Chain of three latency-1 edges: length LB = 3, pressure LB = 1.
+        let g = graph(
+            "instr a defs v0\ninstr b defs v1 uses v0\ninstr c uses v1\nedge 0 1 1\nedge 1 2 1",
+        );
+        let ok = ScheduleClaim {
+            length: 3,
+            prp: [1, 0],
+            source: "test",
+        };
+        assert!(check_claims(&g, &ok).is_empty());
+        let lying = ScheduleClaim {
+            length: 2,
+            prp: [0, 0],
+            source: "test",
+        };
+        let f = check_claims(&g, &lying);
+        assert_eq!(
+            codes_of(&f),
+            vec![codes::LENGTH_INFEASIBLE, codes::PRP_INFEASIBLE]
+        );
+        assert!(f.iter().all(|f| f.level == Level::Deny));
+    }
+
+    #[test]
+    fn config_coverage_flags_uncovered_fields() {
+        #[derive(Clone)]
+        struct Cfg {
+            covered: u64,
+            ignored: u64,
+        }
+        let probes = [
+            ConfigProbe::<Cfg> {
+                field: "covered",
+                mutate: |c| c.covered += 1,
+            },
+            ConfigProbe::<Cfg> {
+                field: "ignored",
+                mutate: |c| c.ignored += 1,
+            },
+        ];
+        let base = Cfg {
+            covered: 1,
+            ignored: 2,
+        };
+        let f = check_config_coverage(&base, &probes, |c| c.covered.wrapping_mul(0x9e37));
+        assert_eq!(codes_of(&f), vec![codes::CONFIG_DRIFT]);
+        assert_eq!(f[0].anchor, Anchor::ConfigField("ignored"));
+    }
+}

@@ -107,7 +107,19 @@ pub mod codes {
     pub const EXACT_INCONSISTENT: &str = "C012";
 
     /// A DDG edge implied by a longer (or equal) transitive path.
-    pub const REDUNDANT_EDGE: &str = "L001";
+    ///
+    /// Historically the heuristic lint `L001`; now the *exact*
+    /// effective-latency transitive reduction of `sched-analyze`, reported
+    /// under its stable S-code. Consumers matching on this constant keep
+    /// working; anything matching the literal string must use `"S001"`.
+    pub const REDUNDANT_EDGE: &str = "S001";
+
+    /// Deprecated alias for [`REDUNDANT_EDGE`] under its pre-migration
+    /// name, kept so diagnostics-consuming code written against the L001
+    /// lint still compiles.
+    #[deprecated(note = "the heuristic L001 lint became the exact S001 pass; \
+                         use REDUNDANT_EDGE")]
+    pub const L001_REDUNDANT_EDGE: &str = REDUNDANT_EDGE;
     /// Two instructions define the same register (SSA violation).
     pub const DUPLICATE_DEF: &str = "L002";
     /// An instruction with no edges, defs, or uses.

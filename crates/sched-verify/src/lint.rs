@@ -8,16 +8,16 @@
 
 use crate::diag::{codes, Diagnostic, Span};
 use aco::{AcoConfig, PheromoneTable};
-use sched_ir::{Cycle, Ddg, InstrId, Reg};
+use sched_ir::{Ddg, InstrId, Reg};
 use std::collections::HashMap;
 
 /// Lints a dependence graph. Structural errors (duplicate defs, cycles)
 /// are `error` severity; isolated nodes are notes.
 ///
-/// Redundant transitive edges (`L001`) are *not* reported here: DDGs built
-/// from def-use chains routinely carry edges a longer path already
-/// implies, and that is normal, not suspicious. Use [`lint_ddg_pedantic`]
-/// to include them.
+/// Redundant transitive edges (`S001`) are *not* reported here: the check
+/// is exact, but DDGs built from def-use chains routinely carry edges a
+/// longer path already implies, and that is normal, not suspicious. Use
+/// [`lint_ddg_pedantic`] to include them.
 pub fn lint_ddg(ddg: &Ddg) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
@@ -70,65 +70,34 @@ pub fn lint_ddg(ddg: &Ddg) -> Vec<Diagnostic> {
     diags
 }
 
-/// [`lint_ddg`] plus the pedantic redundant-edge lint (`L001`).
+/// [`lint_ddg`] plus the pedantic redundant-edge pass (`S001`).
+///
+/// Redundancy is *exact*, delegated to `sched-analyze`'s transitive
+/// reduction: an edge `a -> b` is redundant iff a path of two or more
+/// edges already enforces at least the same **effective** latency
+/// (`max(lat, 1)` per edge — on a single-issue machine even a
+/// zero-latency edge costs a cycle, which the old raw-latency heuristic
+/// failed to credit).
 pub fn lint_ddg_pedantic(ddg: &Ddg) -> Vec<Diagnostic> {
     let mut diags = lint_ddg(ddg);
     if diags.iter().any(|d| d.code == codes::GRAPH_CYCLE) {
         return diags;
     }
-    // L001 — latency-aware transitive redundancy: an edge a -> b is
-    // redundant when some other path a -> ... -> b already enforces at
-    // least the same latency, because the long path forces b at least as
-    // late as the edge would.
-    let longest = longest_paths(ddg);
-    for a in ddg.ids() {
-        for &(b, lat) in ddg.succs(a) {
-            // Longest a ~> b path through some intermediate successor.
-            let via_path = ddg
-                .succs(a)
-                .iter()
-                .filter(|&&(s, _)| s != b)
-                .filter_map(|&(s, slat)| longest[s.index()][b.index()].map(|d| slat as Cycle + d))
-                .max();
-            if let Some(d) = via_path {
-                if d >= lat as Cycle {
-                    diags.push(Diagnostic::warning(
-                        codes::REDUNDANT_EDGE,
-                        Span::Edge { from: a, to: b },
-                        format!(
-                            "edge {a} -> {b} (latency {lat}) is implied by a \
-                             transitive path of latency {d}"
-                        ),
-                    ));
-                }
-            }
-        }
+    let g = sched_analyze::RegionGraph::from_ddg(ddg);
+    let order: Vec<u32> = ddg.topo_order().iter().map(|id| id.0).collect();
+    for r in sched_analyze::redundant_edges(&g, &order) {
+        let (a, b) = (InstrId(r.from), InstrId(r.to));
+        diags.push(Diagnostic::warning(
+            codes::REDUNDANT_EDGE,
+            Span::Edge { from: a, to: b },
+            format!(
+                "edge {a} -> {b} (latency {}) is implied by a transitive \
+                 path of effective latency {}",
+                r.latency, r.implied
+            ),
+        ));
     }
     diags
-}
-
-/// All-pairs longest path lengths (`None` = unreachable), reverse-topo DP.
-fn longest_paths(ddg: &Ddg) -> Vec<Vec<Option<Cycle>>> {
-    let n = ddg.len();
-    let mut dist = vec![vec![None; n]; n];
-    for &id in ddg.topo_order().iter().rev() {
-        let i = id.index();
-        for &(succ, lat) in ddg.succs(id) {
-            let s = succ.index();
-            let step = lat as Cycle;
-            let cur = dist[i][s];
-            dist[i][s] = Some(cur.map_or(step, |c: Cycle| c.max(step)));
-            let row_s = dist[s].clone();
-            for (t, d) in row_s.iter().enumerate() {
-                if let Some(d) = d {
-                    let through = step + d;
-                    let cur = dist[i][t];
-                    dist[i][t] = Some(cur.map_or(through, |c| c.max(through)));
-                }
-            }
-        }
-    }
-    dist
 }
 
 /// Returns a member of a dependence cycle, if any (iterative DFS with
@@ -330,8 +299,26 @@ mod tests {
             !lint_ddg(&ddg)
                 .iter()
                 .any(|d| d.code == codes::REDUNDANT_EDGE),
-            "default lint excludes L001"
+            "default lint excludes S001"
         );
+        assert_eq!(codes::REDUNDANT_EDGE, "S001", "migrated off heuristic L001");
+    }
+
+    #[test]
+    fn zero_latency_chains_are_now_caught_exactly() {
+        // The retired heuristic summed raw latencies (0 + 0 = 0 < 1) and
+        // missed this; effective latencies make the path cost 2 cycles.
+        let mut b = DdgBuilder::new();
+        let a = b.instr("a", [sched_ir::Reg::vgpr(0)], []);
+        let m = b.instr("b", [sched_ir::Reg::vgpr(1)], []);
+        let c = b.instr("c", [], []);
+        b.edge(a, m, 0).unwrap();
+        b.edge(m, c, 0).unwrap();
+        b.edge(a, c, 1).unwrap();
+        let ddg = b.build().unwrap();
+        assert!(lint_ddg_pedantic(&ddg)
+            .iter()
+            .any(|d| d.code == codes::REDUNDANT_EDGE && d.span == Span::Edge { from: a, to: c }));
     }
 
     #[test]

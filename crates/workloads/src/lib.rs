@@ -21,6 +21,7 @@
 //! assert!(ddg.len() >= 80 && ddg.len() <= 120);
 //! ```
 
+pub mod mutate;
 pub mod patterns;
 pub mod suite;
 

@@ -7,7 +7,8 @@
 # Mirrors what reviewers expect before a merge: rustfmt clean, clippy
 # clean at -D warnings across every target, all workspace tests green,
 # and (unless --fast) the release build the tier-1 gate uses, the bench
-# binaries compiling, and a CLI verify smoke run on generated regions.
+# binaries compiling, a CLI verify smoke run on generated regions, and
+# the static-analysis deny-gate (`gpu-aco-cli analyze --json`).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,6 +45,29 @@ if [[ "${1:-}" != "--fast" ]]; then
         --no-cache > "$smoke_dir/cache_off.txt"
     cmp "$smoke_dir/cache_on.txt" "$smoke_dir/cache_off.txt"
     cmp "$smoke_dir/cache_on.txt" "$smoke_dir/cache_on2.txt"
+
+    echo "==> gpu-aco-cli analyze deny-gate"
+    # The static-analysis gate: every smoke region must analyze clean of
+    # deny-level findings, and the JSON report must match the
+    # sched-analyze-findings/v1 schema the tooling consumes. The exit code
+    # of `analyze` itself is the gate; the python step re-validates the
+    # report shape so a renderer regression cannot slip through.
+    ./target/release/gpu-aco-cli analyze "$smoke_dir/region.txt" "$smoke_dir/region2.txt" \
+        --json > "$smoke_dir/analyze.json"
+    python3 - "$smoke_dir/analyze.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    rep = json.load(f)
+assert rep["schema"] == "sched-analyze-findings/v1", rep.get("schema")
+for key in ("deny", "warn", "pedantic", "suppressed", "findings"):
+    assert key in rep, f"missing key {key}"
+for f in rep["findings"]:
+    assert f["level"] in ("deny", "warn", "pedantic"), f
+    assert f["code"].startswith("S"), f
+    assert f["anchor"] and f["message"], f
+assert rep["deny"] == 0, f"deny-gate: {rep['deny']} deny finding(s): {rep['findings']}"
+print(f"analyze gate: clean ({rep['warn']} warn, {rep['pedantic']} pedantic)")
+EOF
 
     echo "==> scripts/bench.sh --smoke"
     scripts/bench.sh --smoke --out "$smoke_dir/BENCH_wallclock.json" \

@@ -10,6 +10,8 @@
 //! gpu-aco-cli generate <pattern> <size> [--seed N]     # emit a region file
 //! gpu-aco-cli inspect <region.txt>                     # bounds and stats
 //! gpu-aco-cli verify <region.txt> [--scheduler ...|all] [--pedantic]
+//! gpu-aco-cli analyze <region.txt>... [--json] [--pedantic]
+//!                     [--baseline <file>] [--write-baseline <file>]
 //! ```
 //!
 //! `--cache <cache.txt>` routes the compilation through the pipeline's
@@ -33,6 +35,16 @@
 //! the selected scheduler(s), re-derives every claim each scheduler makes
 //! (order, pressure, occupancy, length, bounds, two-pass invariant), and
 //! exits nonzero if any error-severity diagnostic is found.
+//!
+//! `analyze` runs the exact static dataflow passes (`sched-analyze`):
+//! S001 transitive-redundant edges, S002 cycles with a minimal witness,
+//! S003 orphan nodes, S004 latencies that contradict the machine model,
+//! S005/S006 infeasible pressure/length claims against the AMD heuristic's
+//! schedule, and the S007 cache-key coverage check. Findings carry source
+//! spans from the region file; `--json` emits the machine-readable report
+//! (`sched-analyze-findings/v1`) the CI deny-gate consumes; a baseline
+//! file suppresses known findings. Exit is nonzero iff an unsuppressed
+//! deny-level finding remains.
 //!
 //! The region file format is documented in [`sched_ir::textir`]; `generate`
 //! produces it from the rocPRIM-shaped workload generators.
@@ -69,7 +81,13 @@ const USAGE: &str = "usage:
   gpu-aco-cli inspect <region.txt>
   gpu-aco-cli verify <region.txt> [--scheduler amd|cp|luc|seq|par|host|exact|all]
                      [--seed N] [--blocks N] [--threads N] [--unit-aprp] [--pedantic]
+  gpu-aco-cli analyze <region.txt>... [--json] [--pedantic]
+                      [--baseline <file>] [--write-baseline <file>]
 
+  --json        emit the sched-analyze-findings/v1 JSON report on stdout
+  --pedantic    include pedantic-level findings (S001) in the report
+  --baseline F  suppress the findings recorded in baseline file F
+  --write-baseline F  write a baseline accepting every current finding to F
   --threads N   host worker threads for the host-parallel scheduler
                 (default: all available cores; results are identical at
                 any value)
@@ -85,6 +103,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("generate") => generate(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
         Some("verify") => verify(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("missing command".into()),
     }
@@ -576,6 +595,87 @@ fn verify(args: &[String]) -> Result<(), String> {
         "verify: {certified} scheduler(s) certified clean on {} instructions",
         ddg.len()
     );
+    Ok(())
+}
+
+/// `analyze`: the exact S-code dataflow passes over one or more region
+/// files, plus the once-per-invocation S007 cache-key coverage check.
+///
+/// Files are parsed with [`textir::parse_raw`] so structurally broken
+/// regions (cycles, dangling edge endpoints) still analyze — a cyclic
+/// region is an S002 finding with a minimal witness, not a parse error.
+/// When a region does build into a valid DDG, the AMD heuristic schedules
+/// it and the claimed length/PRP are checked against the exact lower
+/// bounds (S005/S006).
+fn analyze(args: &[String]) -> Result<(), String> {
+    use gpu_aco::analyze as sa;
+    use gpu_aco::compile::{check_config_drift, PipelineConfig, SchedulerKind};
+
+    let paths = positional_args(args, &["--baseline", "--write-baseline"]);
+    if paths.is_empty() {
+        return Err("analyze needs at least one region file".into());
+    }
+    let occ = OccupancyModel::vega_like();
+    let mut findings = Vec::new();
+    for path in &paths {
+        let text =
+            std::fs::read_to_string(path.as_str()).map_err(|e| format!("reading {path}: {e}"))?;
+        let raw = textir::parse_raw(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        let g = sa::RegionGraph::from_raw(&raw);
+        let mut file_findings = sa::analyze_graph(&g);
+        if let Ok(ddg) = raw.build() {
+            let r = ListScheduler::new(Heuristic::AmdMaxOccupancy).schedule(&ddg, &occ);
+            file_findings.extend(sa::check_claims(
+                &g,
+                &sa::ScheduleClaim {
+                    length: r.length as u64,
+                    prp: r.prp,
+                    source: "amd heuristic",
+                },
+            ));
+        }
+        findings.extend(file_findings.into_iter().map(|f| f.in_file(path.as_str())));
+    }
+    findings.extend(check_config_drift(
+        &PipelineConfig::paper(SchedulerKind::ParallelAco, 0),
+        &occ,
+    ));
+    if !args.iter().any(|a| a == "--pedantic") {
+        findings.retain(|f| f.level > sa::Level::Pedantic);
+    }
+
+    let (findings, suppressed) = match flag_value(args, "--baseline") {
+        Some(f) => {
+            let text =
+                std::fs::read_to_string(&f).map_err(|e| format!("reading baseline {f}: {e}"))?;
+            sa::Baseline::parse(&text).apply(findings)
+        }
+        None => (findings, 0),
+    };
+    if let Some(out) = flag_value(args, "--write-baseline") {
+        std::fs::write(&out, sa::Baseline::accepting(&findings).to_text())
+            .map_err(|e| format!("writing baseline {out}: {e}"))?;
+        eprintln!("wrote baseline {out} ({} finding(s))", findings.len());
+    }
+
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", sa::render_json(&findings, suppressed));
+    } else {
+        print!("{}", sa::render_text(&findings));
+        if suppressed > 0 {
+            println!("analyze: {suppressed} finding(s) suppressed by baseline");
+        }
+        if findings.is_empty() {
+            println!("analyze: {} file(s): ok", paths.len());
+        }
+    }
+    let deny = findings
+        .iter()
+        .filter(|f| f.level == sa::Level::Deny)
+        .count();
+    if deny > 0 {
+        return Err(format!("analysis failed: {deny} deny-level finding(s)"));
+    }
     Ok(())
 }
 

@@ -17,6 +17,8 @@
 //! * [`bench_workloads`] — rocPRIM-shaped DDG generators ([`workloads`])
 //! * [`verify`] — independent schedule certification, DDG/config lints,
 //!   and determinism checks ([`sched_verify`])
+//! * [`analyze`] — exact static dataflow analysis with S-code diagnostics
+//!   and baseline suppression ([`sched_analyze`])
 //!
 //! # Quickstart
 //!
@@ -39,6 +41,7 @@ pub use list_sched as heuristics;
 pub use machine_model as machine;
 pub use pipeline as compile;
 pub use reg_pressure as pressure;
+pub use sched_analyze as analyze;
 pub use sched_ir as ir;
 pub use sched_verify as verify;
 pub use workloads as bench_workloads;
