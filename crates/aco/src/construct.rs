@@ -16,7 +16,7 @@
 use crate::config::AcoConfig;
 use crate::pheromone::PheromoneTable;
 use list_sched::{Heuristic, HeuristicEval, RegionAnalysis};
-use machine_model::OccupancyModel;
+use machine_model::OccupancyLut;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use reg_pressure::{PressureTracker, RegUniverse};
@@ -41,8 +41,8 @@ pub struct AntContext<'a> {
     pub analysis: &'a RegionAnalysis,
     /// Interned registers.
     pub universe: &'a RegUniverse,
-    /// Occupancy/APRP model.
-    pub occ: &'a OccupancyModel,
+    /// Dense occupancy/APRP lookup tables for the machine's model.
+    pub lut: &'a OccupancyLut,
     /// Algorithm parameters.
     pub cfg: &'a AcoConfig,
 }
@@ -201,11 +201,7 @@ impl<'a> Pass1Ant<'a> {
             rng: SmallRng::seed_from_u64(seed),
             heuristic,
             pressure: PressureTracker::new(ctx.universe),
-            pending: ctx
-                .ddg
-                .ids()
-                .map(|i| ctx.ddg.preds(i).len() as u32)
-                .collect(),
+            pending: ctx.ddg.pred_counts().to_vec(),
             ready,
             order: Vec::with_capacity(ctx.ddg.len()),
             last: None,
@@ -219,9 +215,7 @@ impl<'a> Pass1Ant<'a> {
     pub fn reset(&mut self, ctx: &AntContext<'a>, seed: u64) {
         self.rng = SmallRng::seed_from_u64(seed);
         self.pressure.reset();
-        for id in ctx.ddg.ids() {
-            self.pending[id.index()] = ctx.ddg.preds(id).len() as u32;
-        }
+        self.pending.copy_from_slice(ctx.ddg.pred_counts());
         self.ready.clear();
         self.ready.extend(ctx.ddg.roots());
         self.order.clear();
@@ -255,7 +249,7 @@ impl<'a> Pass1Ant<'a> {
     ) -> Pass1Step {
         debug_assert!(!self.finished(ctx));
         let explored = explore.unwrap_or_else(|| self.rng.gen::<f64>() > ctx.cfg.q0);
-        let eval = HeuristicEval::new(self.heuristic, ctx.analysis, ctx.occ);
+        let eval = HeuristicEval::new(self.heuristic, ctx.analysis, ctx.lut);
         let scanned = self.ready.len() as u32;
         let pos = select(
             &mut self.rng,
@@ -310,14 +304,14 @@ impl<'a> Pass1Ant<'a> {
         Pass1Result {
             order: self.order.clone(),
             prp,
-            cost: ctx.occ.rp_cost(prp),
+            cost: ctx.lut.rp_cost(prp),
         }
     }
 
     /// APRP cost of the completed order, without materializing anything.
     pub fn cost(&self, ctx: &AntContext<'a>) -> u64 {
         debug_assert!(self.finished(ctx));
-        ctx.occ.rp_cost(self.pressure.peak())
+        ctx.lut.rp_cost(self.pressure.peak())
     }
 
     /// The constructed order so far (complete once [`Pass1Ant::finished`]).
@@ -375,6 +369,10 @@ pub struct Pass2Ant<'a> {
     phase: Phase,
     ops: u64,
     issuable_buf: Vec<InstrId>,
+    /// Ready-list index of each entry in `issuable_buf`, filled during the
+    /// partition scan so the winner's removal is O(1) instead of a linear
+    /// re-search of the ready list.
+    issuable_pos: Vec<u32>,
     weights: Vec<f64>,
 }
 
@@ -396,11 +394,7 @@ impl<'a> Pass2Ant<'a> {
             allow_optional_stalls,
             target_cost,
             pressure: PressureTracker::new(ctx.universe),
-            pending: ctx
-                .ddg
-                .ids()
-                .map(|i| ctx.ddg.preds(i).len() as u32)
-                .collect(),
+            pending: ctx.ddg.pred_counts().to_vec(),
             ready,
             cycles: vec![0; ctx.ddg.len()],
             order: Vec::with_capacity(ctx.ddg.len()),
@@ -411,6 +405,7 @@ impl<'a> Pass2Ant<'a> {
             phase: Phase::Running,
             ops: 0,
             issuable_buf: Vec::with_capacity(ctx.ddg.len()),
+            issuable_pos: Vec::with_capacity(ctx.ddg.len()),
             weights: Vec::with_capacity(ctx.ddg.len()),
         }
     }
@@ -428,9 +423,7 @@ impl<'a> Pass2Ant<'a> {
     pub fn reset(&mut self, ctx: &AntContext<'a>, seed: u64) {
         self.rng = SmallRng::seed_from_u64(seed);
         self.pressure.reset();
-        for id in ctx.ddg.ids() {
-            self.pending[id.index()] = ctx.ddg.preds(id).len() as u32;
-        }
+        self.pending.copy_from_slice(ctx.ddg.pred_counts());
         self.ready.clear();
         self.ready.extend(ctx.ddg.roots().map(|i| (i, 0)));
         self.cycles.fill(0);
@@ -500,14 +493,17 @@ impl<'a> Pass2Ant<'a> {
         let scanned = self.ready.len() as u32;
         self.ops += OPS_PER_STEP + scanned as u64 * OPS_PER_CANDIDATE;
 
-        // Partition the ready list by issuability and constraint.
+        // Partition the ready list by issuability and constraint,
+        // remembering each issuable entry's ready-list index.
         self.issuable_buf.clear();
+        self.issuable_pos.clear();
         let mut next_arrival: Option<Cycle> = None;
         let mut has_violating = false;
-        for &(id, rc) in &self.ready {
+        for (i, &(id, rc)) in self.ready.iter().enumerate() {
             if rc <= self.now {
-                if ctx.occ.rp_cost(self.pressure.peak_after(id)) <= self.target_cost {
+                if ctx.lut.rp_cost(self.pressure.peak_after(id)) <= self.target_cost {
                     self.issuable_buf.push(id);
+                    self.issuable_pos.push(i as u32);
                 } else {
                     has_violating = true;
                 }
@@ -583,7 +579,7 @@ impl<'a> Pass2Ant<'a> {
 
         // Issue via the ACO selection rule.
         let explored = explore.unwrap_or_else(|| self.rng.gen::<f64>() > ctx.cfg.q0);
-        let eval = HeuristicEval::new(self.heuristic, ctx.analysis, ctx.occ);
+        let eval = HeuristicEval::new(self.heuristic, ctx.analysis, ctx.lut);
         let pos = select(
             &mut self.rng,
             pheromone,
@@ -596,11 +592,8 @@ impl<'a> Pass2Ant<'a> {
             &mut self.weights,
         );
         let id = self.issuable_buf[pos];
-        let ready_pos = self
-            .ready
-            .iter()
-            .position(|&(r, _)| r == id)
-            .expect("issuable instruction is in the ready list");
+        let ready_pos = self.issuable_pos[pos] as usize;
+        debug_assert_eq!(self.ready[ready_pos].0, id);
         self.ready.swap_remove(ready_pos);
         self.cycles[id.index()] = self.now;
         self.pressure.issue(id);
@@ -710,13 +703,14 @@ fn net_total(pressure: &PressureTracker<'_>, id: InstrId) -> i32 {
 mod tests {
     use super::*;
     use list_sched::RegionAnalysis;
+    use machine_model::OccupancyModel;
     use sched_ir::figure1;
 
-    fn setup(ddg: &Ddg) -> (RegionAnalysis, RegUniverse, OccupancyModel, AcoConfig) {
+    fn setup(ddg: &Ddg) -> (RegionAnalysis, RegUniverse, OccupancyLut, AcoConfig) {
         (
             RegionAnalysis::new(ddg),
             RegUniverse::new(ddg),
-            OccupancyModel::vega_like(),
+            OccupancyLut::new(&OccupancyModel::vega_like()),
             AcoConfig::small(7),
         )
     }
@@ -724,12 +718,12 @@ mod tests {
     #[test]
     fn pass1_ant_builds_valid_orders() {
         let ddg = figure1::ddg();
-        let (analysis, universe, occ, cfg) = setup(&ddg);
+        let (analysis, universe, lut, cfg) = setup(&ddg);
         let ctx = AntContext {
             ddg: &ddg,
             analysis: &analysis,
             universe: &universe,
-            occ: &occ,
+            lut: &lut,
             cfg: &cfg,
         };
         let pher = PheromoneTable::new(ddg.len(), 1.0);
@@ -755,12 +749,12 @@ mod tests {
     #[test]
     fn pass1_reset_reproduces_same_seed() {
         let ddg = figure1::ddg();
-        let (analysis, universe, occ, cfg) = setup(&ddg);
+        let (analysis, universe, lut, cfg) = setup(&ddg);
         let ctx = AntContext {
             ddg: &ddg,
             analysis: &analysis,
             universe: &universe,
-            occ: &occ,
+            lut: &lut,
             cfg: &cfg,
         };
         let pher = PheromoneTable::new(ddg.len(), 1.0);
@@ -778,12 +772,12 @@ mod tests {
         let (analysis, universe, _, cfg) = setup(&ddg);
         // The identity-APRP model makes PRP 3 a binding constraint, as in
         // the paper's walkthrough.
-        let occ = OccupancyModel::unit();
+        let occ = OccupancyLut::new(&OccupancyModel::unit());
         let ctx = AntContext {
             ddg: &ddg,
             analysis: &analysis,
             universe: &universe,
-            occ: &occ,
+            lut: &occ,
             cfg: &cfg,
         };
         let pher = PheromoneTable::new(ddg.len(), 1.0);
@@ -805,12 +799,12 @@ mod tests {
     #[test]
     fn pass2_ant_with_loose_target_always_finishes() {
         let ddg = figure1::ddg();
-        let (analysis, universe, occ, cfg) = setup(&ddg);
+        let (analysis, universe, lut, cfg) = setup(&ddg);
         let ctx = AntContext {
             ddg: &ddg,
             analysis: &analysis,
             universe: &universe,
-            occ: &occ,
+            lut: &lut,
             cfg: &cfg,
         };
         let pher = PheromoneTable::new(ddg.len(), 1.0);
@@ -825,12 +819,12 @@ mod tests {
     fn pass2_ant_dies_on_impossible_target() {
         let ddg = figure1::ddg();
         let (analysis, universe, _, cfg) = setup(&ddg);
-        let occ = OccupancyModel::unit();
+        let occ = OccupancyLut::new(&OccupancyModel::unit());
         let ctx = AntContext {
             ddg: &ddg,
             analysis: &analysis,
             universe: &universe,
-            occ: &occ,
+            lut: &occ,
             cfg: &cfg,
         };
         let pher = PheromoneTable::new(ddg.len(), 1.0);
@@ -845,12 +839,12 @@ mod tests {
     #[test]
     fn pass2_kill_stops_a_running_ant() {
         let ddg = figure1::ddg();
-        let (analysis, universe, occ, cfg) = setup(&ddg);
+        let (analysis, universe, lut, cfg) = setup(&ddg);
         let ctx = AntContext {
             ddg: &ddg,
             analysis: &analysis,
             universe: &universe,
-            occ: &occ,
+            lut: &lut,
             cfg: &cfg,
         };
         let pher = PheromoneTable::new(ddg.len(), 1.0);
@@ -863,12 +857,12 @@ mod tests {
     #[test]
     fn explore_override_is_respected_deterministically() {
         let ddg = figure1::ddg();
-        let (analysis, universe, occ, cfg) = setup(&ddg);
+        let (analysis, universe, lut, cfg) = setup(&ddg);
         let ctx = AntContext {
             ddg: &ddg,
             analysis: &analysis,
             universe: &universe,
-            occ: &occ,
+            lut: &lut,
             cfg: &cfg,
         };
         let pher = PheromoneTable::new(ddg.len(), 1.0);

@@ -18,7 +18,7 @@ use crate::pheromone::PheromoneTable;
 use crate::result::{AcoResult, PassStats};
 use crate::sequential::{ant_seed, pass2_target};
 use list_sched::{Heuristic, ListScheduler, RegionAnalysis};
-use machine_model::OccupancyModel;
+use machine_model::{OccupancyLut, OccupancyModel};
 use parking_lot::Mutex;
 use reg_pressure::RegUniverse;
 use sched_ir::{Cycle, Ddg, InstrId, Schedule};
@@ -92,7 +92,7 @@ fn merge_pass2(
 ///
 /// ```
 /// use aco::{AcoConfig, HostParallelScheduler};
-/// use machine_model::OccupancyModel;
+/// use machine_model::{OccupancyLut, OccupancyModel};
 /// use sched_ir::figure1;
 ///
 /// let ddg = figure1::ddg();
@@ -126,16 +126,17 @@ impl HostParallelScheduler {
     pub fn schedule(&mut self, ddg: &Ddg, occ: &OccupancyModel) -> AcoResult {
         let analysis = RegionAnalysis::new(ddg);
         let universe = RegUniverse::new(ddg);
+        let lut = OccupancyLut::new(occ);
         let ctx = AntContext {
             ddg,
             analysis: &analysis,
             universe: &universe,
-            occ,
+            lut: &lut,
             cfg: &self.cfg,
         };
 
-        let initial =
-            ListScheduler::new(Heuristic::AmdMaxOccupancy).schedule_with(ddg, occ, &analysis);
+        let initial = ListScheduler::new(Heuristic::AmdMaxOccupancy)
+            .schedule_in(ddg, &lut, &analysis, &universe);
         if ddg.len() <= 1 {
             return AcoResult::trivial(ddg, occ, initial, 0.0);
         }

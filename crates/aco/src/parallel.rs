@@ -33,7 +33,7 @@ use crate::result::{AcoResult, PassStats};
 use crate::sequential::{ant_seed, pass2_target};
 use gpu_sim::{GpuSpec, LaunchProfile, MemLayout, WavefrontCost};
 use list_sched::{Heuristic, ListScheduler, RegionAnalysis};
-use machine_model::OccupancyModel;
+use machine_model::{OccupancyLut, OccupancyModel};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use reg_pressure::RegUniverse;
@@ -86,7 +86,7 @@ pub struct ParallelOutcome {
 ///
 /// ```
 /// use aco::{AcoConfig, ParallelScheduler};
-/// use machine_model::OccupancyModel;
+/// use machine_model::{OccupancyLut, OccupancyModel};
 /// use sched_ir::figure1;
 ///
 /// let ddg = figure1::ddg();
@@ -121,16 +121,17 @@ impl ParallelScheduler {
     pub fn schedule(&mut self, ddg: &Ddg, occ: &OccupancyModel) -> ParallelOutcome {
         let analysis = RegionAnalysis::new(ddg);
         let universe = RegUniverse::new(ddg);
+        let lut = OccupancyLut::new(occ);
         let ctx = AntContext {
             ddg,
             analysis: &analysis,
             universe: &universe,
-            occ,
+            lut: &lut,
             cfg: &self.cfg,
         };
 
-        let initial =
-            ListScheduler::new(Heuristic::AmdMaxOccupancy).schedule_with(ddg, occ, &analysis);
+        let initial = ListScheduler::new(Heuristic::AmdMaxOccupancy)
+            .schedule_in(ddg, &lut, &analysis, &universe);
 
         if ddg.len() <= 1 {
             let result = AcoResult::trivial(ddg, occ, initial, 0.0);
@@ -141,6 +142,11 @@ impl ParallelScheduler {
         }
 
         let mut gpu = GpuStats::default();
+        // One pheromone table serves both launches: `reset()` restores the
+        // uniform initial level bitwise-identically to a fresh table, so
+        // sharing it keeps per-launch allocations constant without changing
+        // any result.
+        let mut pheromone = PheromoneTable::new(ddg.len(), self.cfg.initial_pheromone);
 
         // ---- Pass 1 ----
         let rp_lb = occ.rp_cost_lb(ddg.rp_lower_bound());
@@ -148,7 +154,14 @@ impl ParallelScheduler {
         let mut best_cost = occ.rp_cost(initial.prp);
         let mut pass1 = PassStats::default();
         if best_cost > rp_lb {
-            let launch = self.run_pass1(&ctx, &mut best_order, &mut best_cost, rp_lb, &mut pass1);
+            let launch = self.run_pass1(
+                &ctx,
+                &mut pheromone,
+                &mut best_order,
+                &mut best_cost,
+                rp_lb,
+                &mut pass1,
+            );
             gpu.pass1_profile = launch.profile;
             gpu.divergent_steps += launch.divergent_steps;
             gpu.mem_transactions += launch.mem_transactions;
@@ -169,6 +182,7 @@ impl ParallelScheduler {
         if best_length >= len_lb + gate {
             let launch = self.run_pass2(
                 &ctx,
+                &mut pheromone,
                 target_cost,
                 &mut best_final_order,
                 &mut best_schedule,
@@ -187,7 +201,7 @@ impl ParallelScheduler {
         pass2.best_cost = best_length as u64;
         pass2.time_us = gpu.pass2_profile.total_us();
 
-        let prp = reg_pressure::prp_of_order(ddg, &best_final_order);
+        let prp = reg_pressure::prp_of_order_in(&universe, &best_final_order);
         let result = AcoResult {
             occupancy: occ.occupancy(prp),
             prp,
@@ -288,13 +302,14 @@ impl ParallelScheduler {
     fn run_pass1(
         &self,
         ctx: &AntContext<'_>,
+        pheromone: &mut PheromoneTable,
         best_order: &mut Vec<InstrId>,
         best_cost: &mut u64,
         rp_lb: u64,
         stats: &mut PassStats,
     ) -> LaunchResult {
         let mut profile = self.setup_profile(ctx);
-        let mut pheromone = PheromoneTable::new(ctx.ddg.len(), self.cfg.initial_pheromone);
+        pheromone.reset();
         let budget = self.cfg.termination.budget(ctx.ddg.len());
         let mut no_improve = 0u32;
         let mut kernel_cycles = 0u64;
@@ -310,10 +325,16 @@ impl ParallelScheduler {
         let mut ants: Vec<Pass1Ant<'_>> = (0..lanes)
             .map(|_| Pass1Ant::new(ctx, self.cfg.heuristic, 0))
             .collect();
+        // Iteration-winner and per-iteration wavefront-cycle buffers live
+        // for the whole launch; each iteration clears and refills them so
+        // the loop stays allocation-free.
+        let mut winner_cost: Option<u64>;
+        let mut winner_order: Vec<InstrId> = Vec::with_capacity(n);
+        let mut iter_wf_cycles: Vec<u64> = Vec::with_capacity(self.cfg.blocks as usize);
         while stats.iterations < self.cfg.termination.max_iterations {
             stats.iterations += 1;
-            let mut winner: Option<(u64, Vec<InstrId>)> = None;
-            let mut iter_wf_cycles = Vec::with_capacity(self.cfg.blocks as usize);
+            winner_cost = None;
+            iter_wf_cycles.clear();
             for w in 0..self.cfg.blocks {
                 let mut wf = WavefrontCost::new(&self.spec);
                 let mut wf_rng = SmallRng::seed_from_u64(ant_seed(
@@ -341,7 +362,7 @@ impl ParallelScheduler {
                     let mut any_exploit = false;
                     let mut succ_max = 0u64;
                     for ant in &mut ants {
-                        let s = ant.step(ctx, &pheromone, explored);
+                        let s = ant.step(ctx, pheromone, explored);
                         succ_max = succ_max.max(s.succ_ops as u64);
                         if s.explored {
                             any_explore = true;
@@ -371,15 +392,10 @@ impl ParallelScheduler {
                     }
                 }
                 if let Some((cost, l)) = wf_best {
-                    if winner.as_ref().is_none_or(|(c, _)| cost < *c) {
-                        match &mut winner {
-                            Some((c, ord)) => {
-                                *c = cost;
-                                ord.clear();
-                                ord.extend_from_slice(ants[l].order());
-                            }
-                            slot => *slot = Some((cost, ants[l].order().to_vec())),
-                        }
+                    if winner_cost.is_none_or(|c| cost < c) {
+                        winner_cost = Some(cost);
+                        winner_order.clear();
+                        winner_order.extend_from_slice(ants[l].order());
                     }
                 }
                 self.update_stage_cost(ctx, &mut wf);
@@ -389,12 +405,13 @@ impl ParallelScheduler {
             }
             kernel_cycles += self.spec.kernel_cycles(&iter_wf_cycles);
 
-            let (wcost, worder) = winner.expect("at least one ant");
+            let wcost = winner_cost.expect("at least one ant");
             pheromone.evaporate(self.cfg.decay, self.cfg.tau_min);
-            pheromone.deposit_order(&worder, self.cfg.deposit, self.cfg.tau_max);
+            pheromone.deposit_order(&winner_order, self.cfg.deposit, self.cfg.tau_max);
             if wcost < *best_cost {
                 *best_cost = wcost;
-                *best_order = worder;
+                best_order.clear();
+                best_order.extend_from_slice(&winner_order);
                 stats.improved = true;
                 no_improve = 0;
             } else {
@@ -420,6 +437,7 @@ impl ParallelScheduler {
     fn run_pass2(
         &self,
         ctx: &AntContext<'_>,
+        pheromone: &mut PheromoneTable,
         target_cost: u64,
         best_order: &mut Vec<InstrId>,
         best_schedule: &mut Schedule,
@@ -428,7 +446,12 @@ impl ParallelScheduler {
         stats: &mut PassStats,
     ) -> LaunchResult {
         let mut profile = self.setup_profile(ctx);
-        let mut pheromone = PheromoneTable::new(ctx.ddg.len(), self.cfg.initial_pheromone);
+        pheromone.reset();
+        // The best schedule is kept as a raw cycle vector for the whole
+        // launch and materialized into a `Schedule` exactly once at the end
+        // (`from_cycles` moves the buffer), so improvements never allocate.
+        let mut best_cycles: Vec<Cycle> = Vec::with_capacity(ctx.ddg.len());
+        best_cycles.extend_from_slice(best_schedule.cycles());
         // Host-side constraint-respecting greedies seed the ILP pass (the
         // same deterministic exploit-only constructions the sequential
         // scheduler uses); different heuristics survive different binds.
@@ -437,14 +460,15 @@ impl ParallelScheduler {
         for h in Heuristic::ALL {
             greedy.reset_with(ctx, h, 0, true);
             while matches!(
-                greedy.step(ctx, &pheromone, Some(false)),
+                greedy.step(ctx, pheromone, Some(false)),
                 Pass2Step::Issued { .. } | Pass2Step::Stalled { .. }
             ) {}
             if greedy.finished() && greedy.length() < *best_length {
-                let g = greedy.result();
-                *best_length = g.length;
-                *best_schedule = g.schedule;
-                *best_order = g.order;
+                *best_length = greedy.length();
+                best_order.clear();
+                best_order.extend_from_slice(greedy.order());
+                best_cycles.clear();
+                best_cycles.extend_from_slice(greedy.cycles());
             }
         }
         let budget = self.cfg.termination.budget(ctx.ddg.len());
@@ -462,10 +486,15 @@ impl ParallelScheduler {
         let mut ants: Vec<Pass2Ant<'_>> = (0..lanes)
             .map(|_| Pass2Ant::new(ctx, self.cfg.heuristic, 0, target_cost, true))
             .collect();
+        // Launch-lifetime iteration-winner buffers (see run_pass1).
+        let mut winner_len: Option<Cycle>;
+        let mut winner_order: Vec<InstrId> = Vec::with_capacity(ctx.ddg.len());
+        let mut winner_cycles: Vec<Cycle> = Vec::with_capacity(ctx.ddg.len());
+        let mut iter_wf_cycles: Vec<u64> = Vec::with_capacity(self.cfg.blocks as usize);
         while stats.iterations < self.cfg.termination.max_iterations {
             stats.iterations += 1;
-            let mut winner: Option<(Cycle, Vec<InstrId>, Vec<Cycle>)> = None;
-            let mut iter_wf_cycles = Vec::with_capacity(self.cfg.blocks as usize);
+            winner_len = None;
+            iter_wf_cycles.clear();
             for w in 0..self.cfg.blocks {
                 let mut wf = WavefrontCost::new(&self.spec);
                 let mut wf_rng = SmallRng::seed_from_u64(ant_seed(
@@ -507,7 +536,7 @@ impl ParallelScheduler {
                         if !ant.running() {
                             continue;
                         }
-                        match ant.step(ctx, &pheromone, explored) {
+                        match ant.step(ctx, pheromone, explored) {
                             Pass2Step::Issued {
                                 succ_ops,
                                 explored: e,
@@ -535,20 +564,25 @@ impl ParallelScheduler {
                     // list for issuability and arrival times.
                     let select_steps = scan_max * (STEPS_PER_CANDIDATE + 2) + STEPS_PER_ROUND;
                     let stall_steps = scan_max * (STALL_STEPS_PER_CANDIDATE + 1) + 4;
-                    let mut paths = Vec::with_capacity(3);
+                    let mut paths = [0u64; 3];
+                    let mut np = 0;
                     if issued_exploit {
-                        paths.push(select_steps);
+                        paths[np] = select_steps;
+                        np += 1;
                     }
                     if issued_explore {
-                        paths.push(select_steps);
+                        paths[np] = select_steps;
+                        np += 1;
                     }
                     if stalled {
-                        paths.push(stall_steps);
+                        paths[np] = stall_steps;
+                        np += 1;
                     }
-                    if paths.is_empty() {
-                        paths.push(2);
+                    if np == 0 {
+                        paths[0] = 2;
+                        np = 1;
                     }
-                    wf.diverge(&paths);
+                    wf.diverge(&paths[..np]);
                     wf.uniform(succ_max * 2);
                     // Pass-2 lanes sit at different cycles of different-
                     // length schedules, so their state accesses spread over
@@ -577,20 +611,12 @@ impl ParallelScheduler {
                     }
                 }
                 if let Some((len, l)) = wf_best {
-                    if winner.as_ref().is_none_or(|(wl, _, _)| len < *wl) {
-                        match &mut winner {
-                            Some((wl, ord, cyc)) => {
-                                *wl = len;
-                                ord.clear();
-                                ord.extend_from_slice(ants[l].order());
-                                cyc.clear();
-                                cyc.extend_from_slice(ants[l].cycles());
-                            }
-                            slot => {
-                                *slot =
-                                    Some((len, ants[l].order().to_vec(), ants[l].cycles().to_vec()))
-                            }
-                        }
+                    if winner_len.is_none_or(|wl| len < wl) {
+                        winner_len = Some(len);
+                        winner_order.clear();
+                        winner_order.extend_from_slice(ants[l].order());
+                        winner_cycles.clear();
+                        winner_cycles.extend_from_slice(ants[l].cycles());
                     }
                 }
                 self.update_stage_cost(ctx, &mut wf);
@@ -601,13 +627,14 @@ impl ParallelScheduler {
             kernel_cycles += self.spec.kernel_cycles(&iter_wf_cycles);
 
             pheromone.evaporate(self.cfg.decay, self.cfg.tau_min);
-            let improved = match winner {
-                Some((wlen, worder, wcycles)) => {
-                    pheromone.deposit_order(&worder, self.cfg.deposit, self.cfg.tau_max);
+            let improved = match winner_len {
+                Some(wlen) => {
+                    pheromone.deposit_order(&winner_order, self.cfg.deposit, self.cfg.tau_max);
                     if wlen < *best_length {
                         *best_length = wlen;
-                        *best_schedule = Schedule::from_cycles(wcycles);
-                        *best_order = worder;
+                        best_cycles.clone_from(&winner_cycles);
+                        best_order.clear();
+                        best_order.extend_from_slice(&winner_order);
                         true
                     } else {
                         false
@@ -629,6 +656,10 @@ impl ParallelScheduler {
                 break;
             }
         }
+        // The single materialization of the launch: `from_cycles` moves the
+        // buffer, so an unimproved launch reproduces the incoming schedule
+        // bit for bit without copying.
+        *best_schedule = Schedule::from_cycles(best_cycles);
         profile.kernel_us = self.spec.launch_overhead_us + self.spec.cycles_to_us(kernel_cycles);
         LaunchResult {
             profile,
@@ -796,7 +827,7 @@ mod tests {
     #[test]
     fn tight_ready_ub_reduces_copy_bytes() {
         let ddg = workloads::patterns::sized(150, 3);
-        let occ = OccupancyModel::vega_like();
+        let occ = OccupancyLut::new(&OccupancyModel::vega_like());
         let analysis = list_sched::RegionAnalysis::new(&ddg);
         let universe = reg_pressure::RegUniverse::new(&ddg);
         let mut cfg = small_cfg(0);
@@ -804,7 +835,7 @@ mod tests {
             ddg: &ddg,
             analysis: &analysis,
             universe: &universe,
-            occ: &occ,
+            lut: &occ,
             cfg: &cfg,
         };
         let tight = ParallelScheduler::new(cfg).setup_profile(&ctx);
@@ -813,7 +844,7 @@ mod tests {
             ddg: &ddg,
             analysis: &analysis,
             universe: &universe,
-            occ: &occ,
+            lut: &occ,
             cfg: &cfg,
         };
         let loose = ParallelScheduler::new(cfg).setup_profile(&ctx);

@@ -189,7 +189,7 @@ mod convergence_tests {
     use crate::config::AcoConfig;
     use crate::construct::{AntContext, Pass1Ant};
     use list_sched::{Heuristic, RegionAnalysis};
-    use machine_model::OccupancyModel;
+    use machine_model::{OccupancyLut, OccupancyModel};
     use reg_pressure::RegUniverse;
 
     /// Repeatedly depositing the same winner makes exploit-only ants
@@ -204,7 +204,7 @@ mod convergence_tests {
             b.instr(format!("nop{i}"), [], []);
         }
         let ddg = b.build().unwrap();
-        let occ = OccupancyModel::vega_like();
+        let occ = OccupancyLut::new(&OccupancyModel::vega_like());
         let analysis = RegionAnalysis::new(&ddg);
         let universe = RegUniverse::new(&ddg);
         let cfg = AcoConfig::small(0);
@@ -212,7 +212,7 @@ mod convergence_tests {
             ddg: &ddg,
             analysis: &analysis,
             universe: &universe,
-            occ: &occ,
+            lut: &occ,
             cfg: &cfg,
         };
         let mut table = PheromoneTable::new(ddg.len(), cfg.initial_pheromone);

@@ -7,7 +7,7 @@ use crate::pheromone::PheromoneTable;
 use crate::result::{AcoResult, PassStats};
 use gpu_sim::CpuSpec;
 use list_sched::{Heuristic, ListScheduler, RegionAnalysis};
-use machine_model::OccupancyModel;
+use machine_model::{OccupancyLut, OccupancyModel};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use reg_pressure::RegUniverse;
@@ -62,7 +62,7 @@ pub(crate) fn ant_seed(base: u64, pass: u32, iteration: u32, ant: u32) -> u64 {
 ///
 /// ```
 /// use aco::{AcoConfig, SequentialScheduler};
-/// use machine_model::OccupancyModel;
+/// use machine_model::{OccupancyLut, OccupancyModel};
 /// use sched_ir::figure1;
 ///
 /// let ddg = figure1::ddg();
@@ -92,18 +92,19 @@ impl SequentialScheduler {
     pub fn schedule(&mut self, ddg: &Ddg, occ: &OccupancyModel) -> AcoResult {
         let analysis = RegionAnalysis::new(ddg);
         let universe = RegUniverse::new(ddg);
+        let lut = OccupancyLut::new(occ);
         let ctx = AntContext {
             ddg,
             analysis: &analysis,
             universe: &universe,
-            occ,
+            lut: &lut,
             cfg: &self.cfg,
         };
         let mut total_ops: u64 = 0;
 
         // Initial schedule from the production heuristic.
-        let initial =
-            ListScheduler::new(Heuristic::AmdMaxOccupancy).schedule_with(ddg, occ, &analysis);
+        let initial = ListScheduler::new(Heuristic::AmdMaxOccupancy)
+            .schedule_in(ddg, &lut, &analysis, &universe);
         total_ops += (ddg.len() as u64 + ddg.edge_count() as u64) * 4;
 
         if ddg.len() <= 1 {
@@ -189,6 +190,12 @@ impl SequentialScheduler {
             let mut ant = Pass2Ant::new(&ctx, self.cfg.heuristic, 0, target_cost, true);
             let mut winner_order: Vec<InstrId> = Vec::with_capacity(ddg.len());
             let mut winner_cycles: Vec<Cycle> = Vec::with_capacity(ddg.len());
+            // Best-so-far cycles live in a plain buffer during the search;
+            // the `Schedule` is materialized exactly once after the loop
+            // (by moving the buffer), so the allocation count per launch
+            // is independent of how many iterations improve.
+            let mut best_cycles: Vec<Cycle> = Vec::with_capacity(ddg.len());
+            best_cycles.extend_from_slice(best_schedule.cycles());
             while pass2.iterations < self.cfg.termination.max_iterations {
                 pass2.iterations += 1;
                 let mut winner_len: Option<Cycle> = None;
@@ -228,7 +235,7 @@ impl SequentialScheduler {
                         pheromone.deposit_order(&winner_order, self.cfg.deposit, self.cfg.tau_max);
                         if wlen < best_length {
                             best_length = wlen;
-                            best_schedule = Schedule::from_cycles(winner_cycles.clone());
+                            best_cycles.clone_from(&winner_cycles);
                             best_final_order.clone_from(&winner_order);
                             true
                         } else {
@@ -252,6 +259,7 @@ impl SequentialScheduler {
                 }
             }
             total_ops += ant.ops();
+            best_schedule = Schedule::from_cycles(best_cycles);
         } else if best_length <= len_lb {
             pass2.hit_lb = true;
         } else {
@@ -260,7 +268,7 @@ impl SequentialScheduler {
         pass2.best_cost = best_length as u64;
         pass2.time_us = CpuSpec::default().op_time_us(total_ops - ops_before_p2);
 
-        let prp = reg_pressure::prp_of_order(ddg, &best_final_order);
+        let prp = reg_pressure::prp_of_order_in(&universe, &best_final_order);
         AcoResult {
             occupancy: occ.occupancy(prp),
             prp,

@@ -13,7 +13,7 @@ use std::cell::Cell;
 
 use aco::{AcoConfig, AntContext, Pass1Ant, Pass2Ant, Pass2Step, PheromoneTable};
 use list_sched::{Heuristic, RegionAnalysis};
-use machine_model::OccupancyModel;
+use machine_model::{OccupancyLut, OccupancyModel};
 use reg_pressure::RegUniverse;
 
 thread_local! {
@@ -65,13 +65,13 @@ fn pass1_and_pass2_constructions_allocate_nothing() {
     let ddg = workloads::patterns::sized(120, 13);
     let analysis = RegionAnalysis::new(&ddg);
     let universe = RegUniverse::new(&ddg);
-    let occ = OccupancyModel::vega_like();
+    let lut = OccupancyLut::new(&OccupancyModel::vega_like());
     let cfg = AcoConfig::paper(5);
     let ctx = AntContext {
         ddg: &ddg,
         analysis: &analysis,
         universe: &universe,
-        occ: &occ,
+        lut: &lut,
         cfg: &cfg,
     };
     let pheromone = PheromoneTable::new(ddg.len(), cfg.initial_pheromone);

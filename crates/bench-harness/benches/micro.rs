@@ -5,7 +5,7 @@
 use aco::{AcoConfig, AntContext, Pass1Ant, Pass2Ant, PheromoneTable};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use list_sched::{Heuristic, ListScheduler, RegionAnalysis};
-use machine_model::OccupancyModel;
+use machine_model::{OccupancyLut, OccupancyModel};
 use reg_pressure::RegUniverse;
 use sched_ir::InstrId;
 
@@ -13,13 +13,13 @@ fn bench_construction(c: &mut Criterion) {
     let ddg = workloads::patterns::sized(100, 9);
     let analysis = RegionAnalysis::new(&ddg);
     let universe = RegUniverse::new(&ddg);
-    let occ = OccupancyModel::vega_like();
+    let occ = OccupancyLut::new(&OccupancyModel::vega_like());
     let cfg = AcoConfig::small(1);
     let ctx = AntContext {
         ddg: &ddg,
         analysis: &analysis,
         universe: &universe,
-        occ: &occ,
+        lut: &occ,
         cfg: &cfg,
     };
     let pheromone = PheromoneTable::new(ddg.len(), 1.0);

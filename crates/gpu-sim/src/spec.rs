@@ -70,11 +70,19 @@ impl GpuSpec {
         }
         let slots = self.concurrent_wavefronts() as usize;
         let used = slots.min(wavefront_cycles.len());
-        let mut simd_load = vec![0u64; used];
-        for (i, &c) in wavefront_cycles.iter().enumerate() {
-            simd_load[i % used] += c;
+        // Strided per-SIMD sums instead of a scratch `vec![0; used]`: this
+        // runs once per ACO iteration inside the allocation-free hot loop.
+        let mut max_load = 0u64;
+        for j in 0..used {
+            let mut load = 0u64;
+            let mut i = j;
+            while i < wavefront_cycles.len() {
+                load += wavefront_cycles[i];
+                i += used;
+            }
+            max_load = max_load.max(load);
         }
-        simd_load.into_iter().max().unwrap_or(0)
+        max_load
     }
 
     /// Converts device cycles to microseconds.

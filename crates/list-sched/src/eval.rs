@@ -1,6 +1,6 @@
 //! Candidate-scoring heuristics shared by the list schedulers and ACO.
 
-use machine_model::OccupancyModel;
+use machine_model::OccupancyLut;
 use reg_pressure::PressureTracker;
 use sched_ir::{Cycle, Ddg, InstrId};
 
@@ -67,15 +67,19 @@ impl Heuristic {
 pub struct HeuristicEval<'a> {
     heuristic: Heuristic,
     analysis: &'a RegionAnalysis,
-    occupancy: &'a OccupancyModel,
+    occupancy: &'a OccupancyLut,
 }
 
 impl<'a> HeuristicEval<'a> {
     /// Creates an evaluator for `heuristic` over the analyzed region.
+    ///
+    /// Takes the region's [`OccupancyLut`] rather than the model itself:
+    /// η is evaluated per ready candidate per step, and the table lookup
+    /// avoids the model's division-heavy occupancy banding on that path.
     pub fn new(
         heuristic: Heuristic,
         analysis: &'a RegionAnalysis,
-        occupancy: &'a OccupancyModel,
+        occupancy: &'a OccupancyLut,
     ) -> HeuristicEval<'a> {
         HeuristicEval {
             heuristic,
@@ -110,12 +114,16 @@ impl<'a> HeuristicEval<'a> {
                 // pressure, and only then look at the critical path. The
                 // pressure-first myopia is what makes the production
                 // scheduler beatable on latency (the paper's Figure 4).
+                let delta = pressure.net_change(id);
                 let occ_now = self.occupancy.occupancy(pressure.peak());
-                let occ_after = self.occupancy.occupancy(pressure.peak_after(id));
+                let occ_after = self.occupancy.occupancy(pressure.peak_after_delta(delta));
                 let tier = if occ_after >= occ_now { 1.0 } else { 0.0 };
                 let n = self.analysis.dist_to_leaf.len() as f64;
                 let span = (n + 1.0) * 40.0;
-                let net = pressure.opens(id) as f64 - pressure.kills(id) as f64;
+                // Per class, net change == opens - kills, so the sum over
+                // classes reproduces `opens(id) - kills(id)` exactly (integer
+                // arithmetic; no rounding concerns).
+                let net = delta.iter().sum::<i32>() as f64;
                 let pressure_rank = (16.0 - net).clamp(0.0, 32.0);
                 let cp_tiebreak = dist / (self.analysis.critical_path as f64 + 1.0);
                 1.0 + tier * span + pressure_rank * (n + 1.0) + cp_tiebreak
@@ -127,6 +135,7 @@ impl<'a> HeuristicEval<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use machine_model::OccupancyModel;
     use reg_pressure::RegUniverse;
     use sched_ir::figure1;
 
@@ -143,7 +152,7 @@ mod tests {
     fn critical_path_prefers_long_chains() {
         let (ddg, ids) = figure1::ddg_with_ids();
         let analysis = RegionAnalysis::new(&ddg);
-        let occ = OccupancyModel::vega_like();
+        let occ = OccupancyLut::new(&OccupancyModel::vega_like());
         let universe = RegUniverse::new(&ddg);
         let t = PressureTracker::new(&universe);
         let eval = HeuristicEval::new(Heuristic::CriticalPath, &analysis, &occ);
@@ -157,7 +166,7 @@ mod tests {
     fn last_use_count_prefers_killers() {
         let (ddg, ids) = figure1::ddg_with_ids();
         let analysis = RegionAnalysis::new(&ddg);
-        let occ = OccupancyModel::vega_like();
+        let occ = OccupancyLut::new(&OccupancyModel::vega_like());
         let universe = RegUniverse::new(&ddg);
         let mut t = PressureTracker::new(&universe);
         for id in [ids.c, ids.d] {
@@ -172,7 +181,7 @@ mod tests {
     fn eta_is_strictly_positive_for_all_heuristics() {
         let ddg = figure1::ddg();
         let analysis = RegionAnalysis::new(&ddg);
-        let occ = OccupancyModel::vega_like();
+        let occ = OccupancyLut::new(&OccupancyModel::vega_like());
         let universe = RegUniverse::new(&ddg);
         let t = PressureTracker::new(&universe);
         for h in Heuristic::ALL {

@@ -1,7 +1,7 @@
 //! The greedy list scheduler.
 
 use crate::eval::{Heuristic, HeuristicEval, RegionAnalysis};
-use machine_model::OccupancyModel;
+use machine_model::{OccupancyLut, OccupancyModel};
 use reg_pressure::{PressureTracker, RegUniverse};
 use sched_ir::{Cycle, Ddg, InstrId, Schedule, REG_CLASS_COUNT};
 
@@ -81,10 +81,24 @@ impl ListScheduler {
         occ: &OccupancyModel,
         analysis: &RegionAnalysis,
     ) -> Vec<InstrId> {
-        let eval = HeuristicEval::new(self.heuristic, analysis, occ);
         let universe = RegUniverse::new(ddg);
-        let mut pressure = PressureTracker::new(&universe);
-        let mut pending_preds: Vec<u32> = ddg.ids().map(|i| ddg.preds(i).len() as u32).collect();
+        let lut = OccupancyLut::new(occ);
+        self.order_in(ddg, &lut, analysis, &universe)
+    }
+
+    /// Like [`Self::order_with`] but also reusing a prebuilt register
+    /// universe and occupancy table — the form schedulers that already
+    /// interned the region call.
+    pub fn order_in(
+        &self,
+        ddg: &Ddg,
+        lut: &OccupancyLut,
+        analysis: &RegionAnalysis,
+        universe: &RegUniverse,
+    ) -> Vec<InstrId> {
+        let eval = HeuristicEval::new(self.heuristic, analysis, lut);
+        let mut pressure = PressureTracker::new(universe);
+        let mut pending_preds: Vec<u32> = ddg.pred_counts().to_vec();
         let mut ready: Vec<InstrId> = ddg.roots().collect();
         let mut order = Vec::with_capacity(ddg.len());
         while let Some(pos) = argmax_by(&ready, |&id| eval.eta(id, &pressure)) {
@@ -117,11 +131,24 @@ impl ListScheduler {
         occ: &OccupancyModel,
         analysis: &RegionAnalysis,
     ) -> ScheduleResult {
-        let eval = HeuristicEval::new(self.heuristic, analysis, occ);
         let universe = RegUniverse::new(ddg);
-        let mut pressure = PressureTracker::new(&universe);
+        let lut = OccupancyLut::new(occ);
+        self.schedule_in(ddg, &lut, analysis, &universe)
+    }
+
+    /// Like [`Self::schedule_with`] but also reusing a prebuilt register
+    /// universe and occupancy table.
+    pub fn schedule_in(
+        &self,
+        ddg: &Ddg,
+        lut: &OccupancyLut,
+        analysis: &RegionAnalysis,
+        universe: &RegUniverse,
+    ) -> ScheduleResult {
+        let eval = HeuristicEval::new(self.heuristic, analysis, lut);
+        let mut pressure = PressureTracker::new(universe);
         let n = ddg.len();
-        let mut pending_preds: Vec<u32> = ddg.ids().map(|i| ddg.preds(i).len() as u32).collect();
+        let mut pending_preds: Vec<u32> = ddg.pred_counts().to_vec();
         // (instruction, cycle at which its operands are available)
         let mut ready: Vec<(InstrId, Cycle)> = ddg.roots().map(|i| (i, 0)).collect();
         let mut cycles = vec![0 as Cycle; n];
@@ -174,7 +201,7 @@ impl ListScheduler {
         let prp = pressure.peak();
         ScheduleResult {
             length: schedule.length(),
-            occupancy: occ.occupancy(prp),
+            occupancy: lut.occupancy(prp),
             prp,
             order,
             schedule,

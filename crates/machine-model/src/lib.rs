@@ -15,4 +15,4 @@ pub mod occupancy;
 
 pub use issue::IssueModel;
 pub use latency::{op_latency, OpKind};
-pub use occupancy::{OccupancyModel, Waves};
+pub use occupancy::{OccupancyLut, OccupancyModel, Waves};

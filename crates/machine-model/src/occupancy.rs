@@ -231,6 +231,102 @@ impl Default for OccupancyModel {
     }
 }
 
+/// Dense per-class occupancy and APRP tables for one [`OccupancyModel`].
+///
+/// [`OccupancyModel::rp_cost`] costs a dozen-plus integer divisions
+/// (occupancy banding plus the APRP band inversion), and schedule
+/// construction calls it once per *candidate per step* — the pass-2
+/// pressure-constraint check and the AMD heuristic's η both sit on it. The
+/// PRP domain is tiny (bounded by each class's addressable file, 256 VGPRs
+/// / 102 SGPRs on the paper's target), so the whole function tabulates:
+/// build once per region, then every query is two array reads.
+///
+/// The tables cover PRP `0..=per_wave_max` exactly. Past the addressable
+/// file the model is fixed: occupancy always spills to 1, and APRP is the
+/// occupancy-1 band maximum when one exists, else the identity fallback of
+/// [`OccupancyModel::aprp`]. All queries return exactly what the backing
+/// model returns — verified by the equivalence tests below.
+#[derive(Debug, Clone)]
+pub struct OccupancyLut {
+    /// `occ[c][prp]` = `class_occupancy(c, prp)` for `prp <= per_wave_max`.
+    occ: [Vec<Waves>; REG_CLASS_COUNT],
+    /// `aprp[c][prp]` = `aprp(c, prp)` for `prp <= per_wave_max`.
+    aprp: [Vec<u32>; REG_CLASS_COUNT],
+    /// `aprp` beyond the file: the occupancy-1 band maximum, or `None` for
+    /// the model's identity fallback.
+    aprp_overflow: [Option<u32>; REG_CLASS_COUNT],
+    max_waves: Waves,
+}
+
+impl OccupancyLut {
+    /// Tabulates the model. O(per-wave file sizes); build once per region.
+    pub fn new(model: &OccupancyModel) -> OccupancyLut {
+        let table = |c: RegClass| {
+            let len = model.files[c.index()].per_wave_max as usize + 1;
+            let mut occ = Vec::with_capacity(len);
+            let mut aprp = Vec::with_capacity(len);
+            for prp in 0..len as u32 {
+                occ.push(model.class_occupancy(c, prp));
+                aprp.push(model.aprp(c, prp));
+            }
+            (occ, aprp)
+        };
+        let (occ0, aprp0) = table(RegClass::ALL[0]);
+        let (occ1, aprp1) = table(RegClass::ALL[1]);
+        OccupancyLut {
+            occ: [occ0, occ1],
+            aprp: [aprp0, aprp1],
+            aprp_overflow: [
+                model.max_prp_for_occupancy(RegClass::ALL[0], 1),
+                model.max_prp_for_occupancy(RegClass::ALL[1], 1),
+            ],
+            max_waves: model.max_waves,
+        }
+    }
+
+    /// Table-lookup [`OccupancyModel::class_occupancy`].
+    #[inline]
+    pub fn class_occupancy(&self, class: RegClass, prp: u32) -> Waves {
+        let t = &self.occ[class.index()];
+        match t.get(prp as usize) {
+            Some(&o) => o,
+            None => 1, // past the addressable file: spill occupancy
+        }
+    }
+
+    /// Table-lookup [`OccupancyModel::occupancy`].
+    #[inline]
+    pub fn occupancy(&self, prp: [u32; REG_CLASS_COUNT]) -> Waves {
+        let a = self.class_occupancy(RegClass::ALL[0], prp[0]);
+        let b = self.class_occupancy(RegClass::ALL[1], prp[1]);
+        a.min(b)
+    }
+
+    /// Table-lookup [`OccupancyModel::aprp`].
+    #[inline]
+    pub fn aprp(&self, class: RegClass, prp: u32) -> u32 {
+        let t = &self.aprp[class.index()];
+        match t.get(prp as usize) {
+            Some(&a) => a,
+            None => self.aprp_overflow[class.index()].unwrap_or(prp),
+        }
+    }
+
+    /// Table-lookup [`OccupancyModel::rp_cost`].
+    #[inline]
+    pub fn rp_cost(&self, prp: [u32; REG_CLASS_COUNT]) -> u64 {
+        let occ = self.occupancy(prp);
+        let lost = (self.max_waves - occ) as u64;
+        let mut aprp_sum = 0u64;
+        for c in RegClass::ALL {
+            if prp[c.index()] > 0 {
+                aprp_sum += self.aprp(c, prp[c.index()]) as u64;
+            }
+        }
+        lost * 100_000 + aprp_sum
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,6 +409,31 @@ mod tests {
         assert_eq!(m.class_occupancy(RegClass::Vgpr, 16), 4);
         assert_eq!(m.class_occupancy(RegClass::Vgpr, 17), 3);
         assert_eq!(m.aprp(RegClass::Vgpr, 17), 21); // 64/3 = 21
+    }
+
+    #[test]
+    fn lut_matches_model_exhaustively() {
+        for m in [
+            OccupancyModel::vega_like(),
+            OccupancyModel::unit(),
+            OccupancyModel::custom([64, 64], [1, 1], [64, 64], 4),
+            OccupancyModel::custom([96, 800], [8, 16], [84, 102], 20),
+        ] {
+            let lut = OccupancyLut::new(&m);
+            // Well past both per-wave maxima, to exercise the clamp rows.
+            for p0 in 0..=300u32 {
+                for c in RegClass::ALL {
+                    assert_eq!(lut.class_occupancy(c, p0), m.class_occupancy(c, p0));
+                    assert_eq!(lut.aprp(c, p0), m.aprp(c, p0));
+                }
+            }
+            for p0 in (0..=300u32).step_by(7) {
+                for p1 in (0..=150u32).step_by(3) {
+                    assert_eq!(lut.occupancy([p0, p1]), m.occupancy([p0, p1]));
+                    assert_eq!(lut.rp_cost([p0, p1]), m.rp_cost([p0, p1]));
+                }
+            }
+        }
     }
 
     #[test]

@@ -270,9 +270,14 @@ where
     let mut kernel_times = Vec::with_capacity(suite.kernels.len());
     let mut compile_us = 0.0;
     let mut job_results = jobs.iter().zip(results).peekable();
+    // Per-kernel scratch, reused (cleared, not reallocated) across the
+    // whole merge. Sized for the largest kernel on first use.
+    let mut slots: Vec<Option<RegionCompilation>> = Vec::new();
+    let mut compiled: Vec<RegionCompilation> = Vec::new();
+    let mut per_region: Vec<(u32, Cycle)> = Vec::new();
     for (k, kernel) in suite.kernels.iter().enumerate() {
-        let mut slots: Vec<Option<RegionCompilation>> =
-            (0..kernel.regions.len()).map(|_| None).collect();
+        slots.clear();
+        slots.resize_with(kernel.regions.len(), || None);
         while let Some((_, outcomes)) = job_results.next_if(|(job, _)| job.kernel() == k) {
             for RegionOutcome {
                 region,
@@ -285,10 +290,12 @@ where
                 slots[region] = Some(comp);
             }
         }
-        let mut compiled: Vec<RegionCompilation> = slots
-            .into_iter()
-            .map(|c| c.expect("every region compiled by some job"))
-            .collect();
+        compiled.clear();
+        compiled.extend(
+            slots
+                .drain(..)
+                .map(|c| c.expect("every region compiled by some job")),
+        );
         for (c, ddg) in compiled.iter().zip(&kernel.regions) {
             compile_us += cfg.base_cost_us(ddg.len()) + c.sched_time_us;
         }
@@ -342,8 +349,8 @@ where
                 }
             }
         }
-        let mut per_region = Vec::with_capacity(kernel.regions.len());
-        for (ri, c) in compiled.into_iter().enumerate() {
+        per_region.clear();
+        for (ri, c) in compiled.drain(..).enumerate() {
             per_region.push((c.occupancy, c.length));
             let (p1_iter, p2_iter, p1_us, p2_us) = match &c.aco {
                 Some(a) => (
@@ -381,8 +388,10 @@ where
     }
     let mut benchmark_time_us = Vec::with_capacity(suite.benchmarks.len());
     let mut throughput = Vec::with_capacity(suite.benchmarks.len());
+    let mut times: Vec<f64> = Vec::new();
     for b in &suite.benchmarks {
-        let times: Vec<f64> = b.kernels.iter().map(|&k| kernel_times[k]).collect();
+        times.clear();
+        times.extend(b.kernels.iter().map(|&k| kernel_times[k]));
         let bytes: u64 = b
             .kernels
             .iter()

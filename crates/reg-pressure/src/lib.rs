@@ -21,7 +21,6 @@
 
 use machine_model::OccupancyModel;
 use sched_ir::{Ddg, InstrId, Reg, RegClass, REG_CLASS_COUNT};
-use std::collections::HashMap;
 
 /// Dense index of a register within a [`RegUniverse`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,11 +45,29 @@ struct RegInfo {
 ///
 /// Build once per region, then drive any number of [`PressureTracker`]s
 /// (e.g. one per ant) from it.
+///
+/// Registers are interned through per-class dense lookup tables indexed by
+/// raw register id (no hashing), and per-instruction def/use lists are
+/// stored in flat CSR arrays. The dense [`RegIdx`] numbering is identical
+/// to what the old `HashMap` interning produced: first occurrence wins,
+/// walking instructions in id order, uses before defs within each
+/// instruction.
 #[derive(Debug, Clone)]
 pub struct RegUniverse {
     regs: Vec<RegInfo>,
-    instr_defs: Vec<Vec<RegIdx>>,
-    instr_uses: Vec<Vec<RegIdx>>,
+    def_off: Vec<u32>,
+    def_idx: Vec<RegIdx>,
+    use_off: Vec<u32>,
+    use_idx: Vec<RegIdx>,
+    /// Deduplicated `(register, occurrence count)` pairs per instruction,
+    /// CSR-indexed by `use_pair_off`. Precomputed so the Last-Use-Count
+    /// queries ([`PressureTracker::kills`]/[`PressureTracker::net_change`],
+    /// the hottest inner loop of every ant) never re-dedup operand lists.
+    use_pair_off: Vec<u32>,
+    use_pairs: Vec<(RegIdx, u32)>,
+    /// Entry-state vectors for `memcpy` tracker resets.
+    init_remaining: Vec<u32>,
+    init_live: Vec<bool>,
     live_in: [u32; REG_CLASS_COUNT],
 }
 
@@ -60,27 +77,37 @@ impl RegUniverse {
     /// Assumes SSA-like virtual registers: at most one def per register.
     /// A second def of the same register is ignored with a debug assertion.
     pub fn new(ddg: &Ddg) -> RegUniverse {
-        let mut index: HashMap<Reg, RegIdx> = HashMap::new();
+        let mut lookup: [Vec<u32>; REG_CLASS_COUNT] = Default::default();
         let mut regs: Vec<RegInfo> = Vec::new();
         let mut intern = |r: Reg, regs: &mut Vec<RegInfo>| -> RegIdx {
-            *index.entry(r).or_insert_with(|| {
+            let table = &mut lookup[r.class.index()];
+            let i = r.id as usize;
+            if table.len() <= i {
+                table.resize(i + 1, u32::MAX);
+            }
+            if table[i] == u32::MAX {
+                table[i] = regs.len() as u32;
                 regs.push(RegInfo {
                     class: r.class,
                     def: None,
                     uses: 0,
                 });
-                RegIdx(regs.len() as u32 - 1)
-            })
+            }
+            RegIdx(table[i])
         };
         let n = ddg.len();
-        let mut instr_defs = vec![Vec::new(); n];
-        let mut instr_uses = vec![Vec::new(); n];
+        let mut def_off = Vec::with_capacity(n + 1);
+        let mut def_idx = Vec::new();
+        let mut use_off = Vec::with_capacity(n + 1);
+        let mut use_idx = Vec::new();
+        def_off.push(0u32);
+        use_off.push(0u32);
         for id in ddg.ids() {
             let instr = ddg.instr(id);
             for &r in instr.uses() {
                 let ri = intern(r, &mut regs);
                 regs[ri.index()].uses += 1;
-                instr_uses[id.index()].push(ri);
+                use_idx.push(ri);
             }
             for &r in instr.defs() {
                 let ri = intern(r, &mut regs);
@@ -91,8 +118,18 @@ impl RegUniverse {
                 if regs[ri.index()].def.is_none() {
                     regs[ri.index()].def = Some(id);
                 }
-                instr_defs[id.index()].push(ri);
+                def_idx.push(ri);
             }
+            use_off.push(use_idx.len() as u32);
+            def_off.push(def_idx.len() as u32);
+        }
+        let mut use_pair_off = Vec::with_capacity(n + 1);
+        let mut use_pairs = Vec::new();
+        use_pair_off.push(0u32);
+        for i in 0..n {
+            let uses = &use_idx[use_off[i] as usize..use_off[i + 1] as usize];
+            use_pairs.extend(dedup_occurrences(uses));
+            use_pair_off.push(use_pairs.len() as u32);
         }
         let mut live_in = [0u32; REG_CLASS_COUNT];
         for info in &regs {
@@ -100,10 +137,18 @@ impl RegUniverse {
                 live_in[info.class.index()] += 1;
             }
         }
+        let init_remaining: Vec<u32> = regs.iter().map(|r| r.uses).collect();
+        let init_live: Vec<bool> = regs.iter().map(|r| r.def.is_none()).collect();
         RegUniverse {
             regs,
-            instr_defs,
-            instr_uses,
+            def_off,
+            def_idx,
+            use_off,
+            use_idx,
+            use_pair_off,
+            use_pairs,
+            init_remaining,
+            init_live,
             live_in,
         }
     }
@@ -119,14 +164,26 @@ impl RegUniverse {
     }
 
     /// Registers defined by an instruction (dense indices).
+    #[inline]
     pub fn defs(&self, id: InstrId) -> &[RegIdx] {
-        &self.instr_defs[id.index()]
+        let i = id.index();
+        &self.def_idx[self.def_off[i] as usize..self.def_off[i + 1] as usize]
     }
 
     /// Register use occurrences of an instruction (dense indices; a register
     /// used twice appears twice).
+    #[inline]
     pub fn uses(&self, id: InstrId) -> &[RegIdx] {
-        &self.instr_uses[id.index()]
+        let i = id.index();
+        &self.use_idx[self.use_off[i] as usize..self.use_off[i + 1] as usize]
+    }
+
+    /// Deduplicated `(register, occurrence count)` use pairs of an
+    /// instruction, precomputed at interning time.
+    #[inline]
+    pub fn use_pairs(&self, id: InstrId) -> &[(RegIdx, u32)] {
+        let i = id.index();
+        &self.use_pairs[self.use_pair_off[i] as usize..self.use_pair_off[i + 1] as usize]
     }
 }
 
@@ -173,12 +230,12 @@ impl<'u> PressureTracker<'u> {
 
     /// Resets to region entry without reallocating (ants reuse trackers
     /// across iterations — the GPU implementation avoids dynamic allocation
-    /// the same way).
+    /// the same way). Two `memcpy`s from the universe's precomputed entry
+    /// state.
     pub fn reset(&mut self) {
-        for (i, r) in self.universe.regs.iter().enumerate() {
-            self.remaining[i] = r.uses;
-            self.live[i] = r.def.is_none();
-        }
+        self.remaining
+            .copy_from_slice(&self.universe.init_remaining);
+        self.live.copy_from_slice(&self.universe.init_live);
         self.current = self.universe.live_in;
         self.peak = self.current;
     }
@@ -236,7 +293,7 @@ impl<'u> PressureTracker<'u> {
                 delta[self.universe.regs[ri.index()].class.index()] += 1;
             }
         }
-        for (ri, occurrences) in dedup_occurrences(self.universe.uses(id)) {
+        for &(ri, occurrences) in self.universe.use_pairs(id) {
             let i = ri.index();
             if self.live[i] && self.remaining[i] <= occurrences {
                 delta[self.universe.regs[i].class.index()] -= 1;
@@ -249,7 +306,7 @@ impl<'u> PressureTracker<'u> {
     /// priority of Shobaki et al. 2015).
     pub fn kills(&self, id: InstrId) -> u32 {
         let mut k = 0;
-        for (ri, occurrences) in dedup_occurrences(self.universe.uses(id)) {
+        for &(ri, occurrences) in self.universe.use_pairs(id) {
             let i = ri.index();
             if self.live[i] && self.remaining[i] <= occurrences {
                 k += 1;
@@ -270,7 +327,13 @@ impl<'u> PressureTracker<'u> {
     /// Peak pressure if `id` were issued now, per class — without mutating
     /// the tracker. Used by the pass-2 RP-constraint check.
     pub fn peak_after(&self, id: InstrId) -> [u32; REG_CLASS_COUNT] {
-        let delta = self.net_change(id);
+        self.peak_after_delta(self.net_change(id))
+    }
+
+    /// [`Self::peak_after`] for a [`Self::net_change`] delta the caller
+    /// already computed — heuristics that need both the delta and the
+    /// resulting peak scan the operand lists once instead of twice.
+    pub fn peak_after_delta(&self, delta: [i32; REG_CLASS_COUNT]) -> [u32; REG_CLASS_COUNT] {
         let mut peak = self.peak;
         for c in 0..REG_CLASS_COUNT {
             let after = (self.current[c] as i32 + delta[c]).max(0) as u32;
@@ -287,6 +350,7 @@ impl<'u> PressureTracker<'u> {
 }
 
 /// Collapses a use-occurrence list into `(reg, occurrence_count)` pairs.
+/// Only runs at universe construction; queries read the precomputed pairs.
 fn dedup_occurrences(uses: &[RegIdx]) -> impl Iterator<Item = (RegIdx, u32)> + '_ {
     // Operand lists are tiny (< 8); quadratic dedup beats hashing.
     uses.iter().enumerate().filter_map(move |(i, &ri)| {
@@ -305,7 +369,13 @@ fn dedup_occurrences(uses: &[RegIdx]) -> impl Iterator<Item = (RegIdx, u32)> + '
 /// Panics (in debug builds) if `order` uses a register before its def.
 pub fn prp_of_order(ddg: &Ddg, order: &[InstrId]) -> [u32; REG_CLASS_COUNT] {
     let universe = RegUniverse::new(ddg);
-    let mut t = PressureTracker::new(&universe);
+    prp_of_order_in(&universe, order)
+}
+
+/// [`prp_of_order`] against an already-built universe — callers that hold
+/// one (every scheduler does) skip re-interning the region's registers.
+pub fn prp_of_order_in(universe: &RegUniverse, order: &[InstrId]) -> [u32; REG_CLASS_COUNT] {
+    let mut t = PressureTracker::new(universe);
     for &id in order {
         t.issue(id);
     }

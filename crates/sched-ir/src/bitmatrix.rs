@@ -100,6 +100,29 @@ impl BitMatrix {
             .sum()
     }
 
+    /// Adds one to `counts[col]` for every set bit `(row, col)` in the
+    /// matrix — a column population count done with one word-level sweep
+    /// over the backing store (popcount-style bit iteration) instead of
+    /// `n` single-bit column probes per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is shorter than the side length.
+    pub fn accumulate_column_counts(&self, counts: &mut [u32]) {
+        assert!(counts.len() >= self.n, "counts slice shorter than matrix");
+        let w = self.words_per_row;
+        for row in 0..self.n {
+            for (wi, &word) in self.bits[row * w..(row + 1) * w].iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    counts[wi * 64 + tz] += 1;
+                }
+            }
+        }
+    }
+
     /// Iterates over the column indices of set bits in `row`.
     pub fn iter_row(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
         assert!(row < self.n);
@@ -178,6 +201,29 @@ mod tests {
         }
         let got: Vec<usize> = m.iter_row(3).collect();
         assert_eq!(got, vec![0, 5, 63, 64, 100, 199]);
+    }
+
+    #[test]
+    fn column_counts_match_per_column_probes() {
+        let mut m = BitMatrix::new(130);
+        for &(r, c) in &[
+            (0usize, 0usize),
+            (1, 0),
+            (5, 63),
+            (5, 64),
+            (7, 129),
+            (9, 64),
+        ] {
+            m.set(r, c);
+        }
+        let mut counts = vec![0u32; 130];
+        m.accumulate_column_counts(&mut counts);
+        for (c, &count) in counts.iter().enumerate() {
+            let brute = (0..130).filter(|&r| m.get(r, c)).count() as u32;
+            assert_eq!(count, brute, "column {c}");
+        }
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[64], 2);
     }
 
     #[test]

@@ -9,19 +9,28 @@
 //! * schedule-length and register-pressure lower bounds.
 
 use crate::ddg::Ddg;
-use crate::instr::{InstrId, RegClass, REG_CLASS_COUNT};
+use crate::instr::{RegClass, REG_CLASS_COUNT};
 use crate::schedule::Cycle;
-use std::collections::HashMap;
+
+/// Effective latency of a dependence edge under single-issue semantics:
+/// even a latency-0 edge separates producer and consumer by one cycle,
+/// because only one instruction issues per cycle. Shared by the forward
+/// ([`Ddg::earliest_starts`]) and backward ([`Ddg::distance_to_leaf`])
+/// critical-path analyses so they agree on 0-latency edges.
+#[inline]
+pub fn effective_latency(lat: u16) -> Cycle {
+    (lat as Cycle).max(1)
+}
 
 impl Ddg {
     /// Earliest possible issue cycle of each instruction, considering
     /// latencies only (infinite issue width). This is the longest
-    /// latency-weighted path from any root.
+    /// effective-latency-weighted path from any root.
     pub fn earliest_starts(&self) -> Vec<Cycle> {
         let mut est = vec![0 as Cycle; self.len()];
         for &id in self.topo_order() {
             for &(succ, lat) in self.succs(id) {
-                let cand = est[id.index()] + lat as Cycle;
+                let cand = est[id.index()] + effective_latency(lat);
                 if cand > est[succ.index()] {
                     est[succ.index()] = cand;
                 }
@@ -41,7 +50,7 @@ impl Ddg {
         let mut dist = vec![1 as Cycle; self.len()];
         for &id in self.topo_order().iter().rev() {
             for &(succ, lat) in self.succs(id) {
-                let cand = dist[succ.index()] + (lat as Cycle).max(1);
+                let cand = dist[succ.index()] + effective_latency(lat);
                 if cand > dist[id.index()] {
                     dist[id.index()] = cand;
                 }
@@ -68,35 +77,44 @@ impl Ddg {
     }
 
     /// Per-class register statistics of the region.
+    ///
+    /// Uses per-class dense tables indexed by register id (generators hand
+    /// out small dense ids, so these stay compact) instead of hashing every
+    /// register mention — this analysis runs for every region compiled.
     pub fn reg_stats(&self) -> RegStats {
-        // use_count per register; defined set.
-        let mut use_count: HashMap<crate::instr::Reg, u32> = HashMap::new();
-        let mut defined: HashMap<crate::instr::Reg, InstrId> = HashMap::new();
+        const USED: u8 = 1;
+        const DEFINED: u8 = 2;
+        let mut flags: [Vec<u8>; REG_CLASS_COUNT] = Default::default();
+        let mark = |table: &mut Vec<u8>, id: u32, bit: u8| {
+            let i = id as usize;
+            if table.len() <= i {
+                table.resize(i + 1, 0);
+            }
+            table[i] |= bit;
+        };
         for id in self.ids() {
             let instr = self.instr(id);
             for &r in instr.uses() {
-                *use_count.entry(r).or_insert(0) += 1;
+                mark(&mut flags[r.class.index()], r.id, USED);
             }
             for &r in instr.defs() {
-                defined.entry(r).or_insert(id);
+                mark(&mut flags[r.class.index()], r.id, DEFINED);
             }
         }
         let mut live_in = [0usize; REG_CLASS_COUNT];
         let mut live_out = [0usize; REG_CLASS_COUNT];
         let mut reg_count = [0usize; REG_CLASS_COUNT];
-        for &r in use_count.keys() {
-            if !defined.contains_key(&r) {
-                live_in[r.class.index()] += 1;
-            }
-        }
-        for &r in defined.keys() {
-            reg_count[r.class.index()] += 1;
-            if !use_count.contains_key(&r) {
-                live_out[r.class.index()] += 1;
-            }
-        }
         for c in 0..REG_CLASS_COUNT {
-            reg_count[c] += live_in[c];
+            for &f in &flags[c] {
+                match f {
+                    USED => live_in[c] += 1,
+                    DEFINED => live_out[c] += 1,
+                    _ => {}
+                }
+                if f != 0 {
+                    reg_count[c] += 1;
+                }
+            }
         }
         RegStats {
             live_in,
@@ -197,6 +215,25 @@ mod tests {
         bld.edge(a, b, 0).unwrap();
         let g = bld.build().unwrap();
         assert_eq!(g.distance_to_leaf()[a.index()], 2);
+    }
+
+    #[test]
+    fn zero_latency_edges_still_cost_a_cycle_in_earliest_starts() {
+        // Forward mirror of the backward test above: with latency 0, `b`
+        // still cannot issue in `a`'s cycle on a single-issue machine, so
+        // both CP analyses must agree on effective latency 1.
+        let mut bld = DdgBuilder::new();
+        let a = bld.instr("a", [], []);
+        let b = bld.instr("b", [], []);
+        bld.edge(a, b, 0).unwrap();
+        let g = bld.build().unwrap();
+        let est = g.earliest_starts();
+        assert_eq!(est[a.index()], 0);
+        assert_eq!(est[b.index()], 1);
+        assert_eq!(g.critical_path_length(), 2);
+        // The two analyses agree on the same effective edge weight.
+        assert_eq!(super::effective_latency(0), 1);
+        assert_eq!(super::effective_latency(7), 7);
     }
 
     #[test]

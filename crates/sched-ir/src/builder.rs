@@ -163,14 +163,40 @@ impl DdgBuilder {
             return Err(DdgError::Cyclic);
         }
 
+        // Flatten the per-id lists into CSR form. This is the cold path —
+        // builds happen once per region — so the temporary `Vec<Vec<_>>`
+        // assembly above is fine; what matters is that every per-id slice
+        // keeps its stored order (first-insertion order with duplicates
+        // merged in place), which the flattening preserves exactly.
+        let (succ_off, succ_edges) = flatten_csr(&succs);
+        let (pred_off, pred_edges) = flatten_csr(&preds);
+        let pred_counts: Vec<u32> = preds.iter().map(|p| p.len() as u32).collect();
+
         Ok(Ddg {
             instrs: self.instrs,
-            succs,
-            preds,
+            succ_off,
+            succ_edges,
+            pred_off,
+            pred_edges,
+            pred_counts,
             topo,
             roots,
         })
     }
+}
+
+/// Flattens per-id adjacency lists into `(offsets, flat edges)` CSR arrays,
+/// preserving per-list stored order.
+fn flatten_csr(lists: &[Vec<(InstrId, u16)>]) -> (Vec<u32>, Vec<(InstrId, u16)>) {
+    let total: usize = lists.iter().map(Vec::len).sum();
+    let mut off = Vec::with_capacity(lists.len() + 1);
+    let mut edges = Vec::with_capacity(total);
+    off.push(0u32);
+    for list in lists {
+        edges.extend_from_slice(list);
+        off.push(edges.len() as u32);
+    }
+    (off, edges)
 }
 
 #[cfg(test)]
@@ -219,6 +245,9 @@ mod tests {
         let g = b.build().unwrap();
         assert_eq!(g.succs(a), &[(c, 9)]);
         assert_eq!(g.preds(c), &[(a, 9)]);
+        // The cached count must agree with what the builder merged down to.
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.pred_counts(), &[0, 1]);
     }
 
     #[test]

@@ -12,11 +12,21 @@ use crate::instr::{InstrId, Instruction};
 /// Mirrors the problem definition of Section II-A of the paper: "In a DDG, a
 /// node represents an instruction, an edge represents a dependency and an
 /// edge label represents a latency."
+///
+/// Adjacency is stored in CSR (compressed sparse row) form: one flat edge
+/// array per direction plus `n + 1` offsets, so a region's whole edge set
+/// lives in two contiguous allocations and `succs(id)`/`preds(id)` are
+/// offset-pair slices. Per-list *stored order* is identical to what the
+/// old `Vec<Vec<_>>` layout held — `content_eq`, the content fingerprint,
+/// and ACO tie-breaking all depend on it.
 #[derive(Debug, Clone)]
 pub struct Ddg {
     pub(crate) instrs: Vec<Instruction>,
-    pub(crate) succs: Vec<Vec<(InstrId, u16)>>,
-    pub(crate) preds: Vec<Vec<(InstrId, u16)>>,
+    pub(crate) succ_off: Vec<u32>,
+    pub(crate) succ_edges: Vec<(InstrId, u16)>,
+    pub(crate) pred_off: Vec<u32>,
+    pub(crate) pred_edges: Vec<(InstrId, u16)>,
+    pub(crate) pred_counts: Vec<u32>,
     pub(crate) topo: Vec<InstrId>,
     pub(crate) roots: Vec<InstrId>,
 }
@@ -47,18 +57,34 @@ impl Ddg {
     }
 
     /// Successor edges of `id` as `(successor, latency)` pairs.
+    #[inline]
     pub fn succs(&self, id: InstrId) -> &[(InstrId, u16)] {
-        &self.succs[id.index()]
+        let i = id.index();
+        &self.succ_edges[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
     /// Predecessor edges of `id` as `(predecessor, latency)` pairs.
+    #[inline]
     pub fn preds(&self, id: InstrId) -> &[(InstrId, u16)] {
-        &self.preds[id.index()]
+        let i = id.index();
+        &self.pred_edges[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
     }
 
-    /// Number of dependence edges.
+    /// Number of dependence edges. Cached at build time (it is the length
+    /// of the flat CSR edge array), so calling this in a loop is free.
+    #[inline]
     pub fn edge_count(&self) -> usize {
-        self.succs.iter().map(Vec::len).sum()
+        self.succ_edges.len()
+    }
+
+    /// Predecessor count of every instruction, indexed by [`InstrId`].
+    ///
+    /// This is the initial pending-predecessor vector every ant reset
+    /// needs; exposing it as a slice lets resets be a single `memcpy`
+    /// instead of a per-id `preds(id).len()` loop.
+    #[inline]
+    pub fn pred_counts(&self) -> &[u32] {
+        &self.pred_counts
     }
 
     /// Instructions with no predecessors (ready at cycle 0), in id order.
@@ -72,9 +98,8 @@ impl Ddg {
 
     /// Instructions with no successors.
     pub fn leaves(&self) -> impl Iterator<Item = InstrId> + '_ {
-        (0..self.len() as u32)
-            .map(InstrId)
-            .filter(|&i| self.succs(i).is_empty())
+        (0..self.len())
+            .filter_map(|i| (self.succ_off[i] == self.succ_off[i + 1]).then_some(InstrId(i as u32)))
     }
 
     /// A topological order of the instructions (cached at build time).
@@ -107,7 +132,10 @@ impl Ddg {
             .iter()
             .zip(&other.instrs)
             .all(|(a, b)| a.defs() == b.defs() && a.uses() == b.uses());
-        regs_eq && self.succs == other.succs
+        // Offsets + flat edges compare exactly what the per-id adjacency
+        // lists used to: the same targets and latencies in the same stored
+        // order, partitioned identically across instructions.
+        regs_eq && self.succ_off == other.succ_off && self.succ_edges == other.succ_edges
     }
 
     /// Computes the transitive closure of the dependence relation.
@@ -127,7 +155,18 @@ impl Ddg {
                 reach.or_row_into(succ.index(), id.index());
             }
         }
-        TransitiveClosure { reach }
+        // Precompute per-node descendant (row popcount) and ancestor
+        // (column popcount, one word-level sweep) totals so the
+        // independence queries below are O(1) instead of O(n) single-bit
+        // column probes each.
+        let desc_counts: Vec<u32> = (0..n).map(|i| reach.count_row(i) as u32).collect();
+        let mut anc_counts = vec![0u32; n];
+        reach.accumulate_column_counts(&mut anc_counts);
+        TransitiveClosure {
+            reach,
+            desc_counts,
+            anc_counts,
+        }
     }
 }
 
@@ -138,6 +177,8 @@ impl Ddg {
 #[derive(Debug, Clone)]
 pub struct TransitiveClosure {
     reach: BitMatrix,
+    desc_counts: Vec<u32>,
+    anc_counts: Vec<u32>,
 }
 
 impl TransitiveClosure {
@@ -153,19 +194,19 @@ impl TransitiveClosure {
     }
 
     /// Number of instructions independent of `id`.
+    ///
+    /// O(1): descendant and ancestor totals are precomputed at closure
+    /// construction (`n - 1` for self, minus both).
     pub fn independent_count(&self, id: InstrId) -> usize {
         let n = self.reach.len();
-        // n - 1 (self) - descendants - ancestors.
-        let desc = self.reach.count_row(id.index());
-        let anc = (0..n).filter(|&j| self.reach.get(j, id.index())).count();
-        n - 1 - desc - anc
+        n - 1 - self.desc_counts[id.index()] as usize - self.anc_counts[id.index()] as usize
     }
 
     /// The tight ready-list upper bound of Section V-A: one plus the maximum
     /// number of independent instructions any instruction has.
     ///
     /// For the Figure-1 DDG this is 5, versus the loose bound of 7 (the
-    /// instruction count).
+    /// instruction count). O(n) over the precomputed counts.
     pub fn ready_list_ub(&self) -> usize {
         let n = self.reach.len();
         if n == 0 {

@@ -41,6 +41,7 @@ pub mod schedule;
 pub mod textir;
 
 pub use bitmatrix::BitMatrix;
+pub use bounds::effective_latency;
 pub use builder::{DdgBuilder, DdgError};
 pub use ddg::{Ddg, TransitiveClosure};
 pub use fingerprint::{ddg_content_fingerprint, Fnv64};

@@ -86,6 +86,24 @@ proptest! {
     }
 
     #[test]
+    fn independent_count_matches_single_bit_brute_force(ddg in arb_ddg(34)) {
+        // Pins the precomputed word-level descendant/ancestor counting
+        // against the old per-query formula: n - 1 (self) - descendants
+        // - ancestors, each found by probing `depends` one pair at a time.
+        let tc = ddg.transitive_closure();
+        let n = ddg.len();
+        for id in ddg.ids() {
+            let desc = ddg.ids().filter(|&j| tc.depends(id, j)).count();
+            let anc = ddg.ids().filter(|&j| tc.depends(j, id)).count();
+            prop_assert_eq!(
+                tc.independent_count(id),
+                n - 1 - desc - anc,
+                "independent_count({}) disagrees with brute force", id
+            );
+        }
+    }
+
+    #[test]
     fn topo_order_schedules_feasibly(ddg in arb_ddg(30)) {
         let s = Schedule::from_order(&ddg, ddg.topo_order());
         prop_assert!(s.validate(&ddg).is_ok());

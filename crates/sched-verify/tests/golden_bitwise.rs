@@ -158,3 +158,28 @@ fn suite_compilations_are_thread_count_invariant() {
         }
     }
 }
+
+/// The schedule cache is equally pure: switching it **off** must reproduce
+/// the same seed goldens (captured cache-on) at 1, 2 and 8 host threads,
+/// for every scheduler kind — the full kinds x threads x cache matrix once
+/// combined with the two tests above.
+#[test]
+fn suite_compilations_are_cache_invariant_at_any_thread_count() {
+    let occ = OccupancyModel::vega_like();
+    let suite = Suite::generate(&SuiteConfig::scaled(5, 0.008));
+    for &(kind, want) in SUITE_GOLDEN {
+        for threads in [1usize, 2, 8] {
+            let mut cfg = PipelineConfig::paper(kind, 0)
+                .with_host_threads(threads)
+                .with_cache(false);
+            cfg.aco.blocks = 4;
+            cfg.aco.pass2_gate_cycles = 1;
+            let run = compile_suite(&suite, &occ, &cfg);
+            assert_eq!(
+                suite_fingerprint(&run),
+                want,
+                "suite compilation drifted under {kind:?} at {threads} host threads, cache off"
+            );
+        }
+    }
+}

@@ -72,6 +72,50 @@ EOF
     echo "==> scripts/bench.sh --smoke"
     scripts/bench.sh --smoke --out "$smoke_dir/BENCH_wallclock.json" \
         --cache-out "$smoke_dir/BENCH_cache.json"
+
+    echo "==> wallclock smoke perf gate"
+    # Schema-validate the bench reports with a real JSON parser (the
+    # binaries only do structural checks), then compare the smoke run's
+    # sequential jobs_s against the committed baseline: a regression
+    # beyond 1.25x fails the gate. Regenerate the baseline on the
+    # reference machine with
+    #   ./target/release/wallclock --smoke --out /dev/null  (see jobs_s)
+    # and edit BENCH_smoke_baseline.json when a slowdown is intentional.
+    python3 - "$smoke_dir/BENCH_wallclock.json" BENCH_smoke_baseline.json \
+        BENCH_wallclock.json <<'EOF'
+import json, sys
+
+def validate(path):
+    with open(path) as f:
+        rep = json.load(f)
+    assert rep["schema_version"] == 1, rep.get("schema_version")
+    assert rep["benchmark"] == "suite_compile_wallclock", rep["benchmark"]
+    for key in ("cores", "scheduler", "suite", "repetitions", "checksum",
+                "checksums_agree", "samples", "sequential_best_s",
+                "parallel_best_s", "speedup"):
+        assert key in rep, f"{path}: missing key {key}"
+    assert rep["checksums_agree"] is True, f"{path}: checksum drift"
+    assert rep["samples"], f"{path}: no samples"
+    for s in rep["samples"]:
+        for key in ("threads", "best_total_s", "plan_s", "jobs_s",
+                    "merge_s", "all_total_s", "modeled_compile_s"):
+            assert key in s, f"{path}: missing sample key {key}"
+    return rep
+
+smoke = validate(sys.argv[1])
+validate(sys.argv[3])  # the committed full-scale report stays well-formed
+with open(sys.argv[2]) as f:
+    base = json.load(f)
+assert smoke["suite"]["scale"] == base["suite"]["scale"], \
+    "baseline/smoke suite scale mismatch"
+cur = next(s for s in smoke["samples"] if s["threads"] == base["threads"])
+limit = base["jobs_s"] * 1.25
+assert cur["jobs_s"] <= limit, (
+    f"perf gate: smoke jobs_s {cur['jobs_s']:.3f}s exceeds {limit:.3f}s "
+    f"(committed baseline {base['jobs_s']:.3f}s x 1.25)")
+print(f"perf gate: smoke jobs_s {cur['jobs_s']:.3f}s <= {limit:.3f}s "
+      f"(baseline {base['jobs_s']:.3f}s)")
+EOF
 fi
 
 echo "==> cargo test --workspace -q"
