@@ -46,6 +46,20 @@
 //! in-memory ones, so a corrupted or hand-edited cache file can cost
 //! misses, never wrong schedules. Group entries are launch-geometry
 //! specific and are not persisted.
+//!
+//! Persistence is **durable** — a long-running server leans on it across
+//! restarts (see `sched-serve`):
+//!
+//! * `save_to` writes a sibling temporary file, flushes and syncs it, and
+//!   atomically renames it over the target. A crash mid-save (even
+//!   `kill -9`) leaves either the old file or the new one, never a
+//!   truncated hybrid. Flush/sync errors surface as `Err` instead of
+//!   being swallowed by a buffered writer's drop.
+//! * The file ends with an `eof <count>` trailer, so `load_from` detects
+//!   truncation by *any* means — a prefix cut at every line boundary (or
+//!   mid-line) is rejected with `InvalidData`, never half-loaded.
+//! * `load_from` streams one line at a time; boot-time loading never
+//!   buffers the whole file in memory alongside the parsed entries.
 
 use crate::batch::compile_batch_group;
 use crate::config::{PipelineConfig, SchedulerKind};
@@ -360,9 +374,14 @@ impl ScheduleCache {
         outcomes
     }
 
-    /// Writes every solo entry to `path` in the hand-rolled line format
-    /// (deterministic order: sorted by key). Group entries are skipped.
-    pub fn save_to(&self, path: &Path) -> io::Result<()> {
+    /// Writes every solo entry to `out` in the hand-rolled line format
+    /// (deterministic order: sorted by key), terminated by the
+    /// `eof <count>` trailer [`Self::load_from`] requires, and **flushes
+    /// explicitly** — a write or flush error (ENOSPC, EIO, a broken pipe)
+    /// surfaces as `Err` here rather than being swallowed by a buffered
+    /// writer's drop. Group entries are skipped (launch-geometry
+    /// specific).
+    pub fn save_to_writer(&self, out: &mut impl Write) -> io::Result<()> {
         let mut entries: Vec<(u64, Arc<CacheEntry>)> = Vec::new();
         for shard in &self.shards {
             // SAFETY: as in `Shard::get`.
@@ -374,61 +393,117 @@ impl ScheduleCache {
             }
         }
         entries.sort_by_key(|&(k, _)| k);
-        let mut out = io::BufWriter::new(std::fs::File::create(path)?);
         writeln!(out, "schedcache v1")?;
+        let count = entries.len();
         for (key, entry) in entries {
             let Payload::Solo { ddg, comp } = &entry.payload else {
                 unreachable!("group entries filtered above")
             };
             writeln!(out, "key {key:#018x}")?;
-            write_cfg_line(&mut out, &entry)?;
+            write_cfg_line(out, &entry)?;
             let text = textir::to_text(ddg);
             writeln!(out, "ddg {}", text.lines().count())?;
             out.write_all(text.as_bytes())?;
-            write_comp(&mut out, comp)?;
+            write_comp(out, comp)?;
             writeln!(out, "end")?;
         }
-        Ok(())
+        writeln!(out, "eof {count}")?;
+        out.flush()
     }
 
-    /// Loads a cache persisted by [`Self::save_to`]. Malformed files are
-    /// rejected with `InvalidData`; entries that are structurally sound
-    /// but wrong (hand-edited schedules, stale claims) survive loading and
-    /// are rejected at hit time by re-certification.
+    /// Persists the cache at `path` **atomically**: the entries are
+    /// written to a sibling temporary file (flushed and fsynced), which is
+    /// then renamed over the target. A crash mid-save — even `kill -9` —
+    /// leaves either the previous file or the complete new one, never a
+    /// truncated hybrid; and the `eof` trailer lets [`Self::load_from`]
+    /// reject a file truncated by any other means. On error the temporary
+    /// file is removed and the target is untouched.
+    pub fn save_to(&self, path: &Path) -> io::Result<()> {
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "schedcache: save path has no file name",
+                )
+            })?
+            .to_string_lossy();
+        // Unique per process *and* per call, so concurrent saves to the
+        // same target never clobber each other's temp file — last rename
+        // wins, and each rename installs a complete file.
+        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = path.with_file_name(format!(
+            ".{file_name}.tmp.{}.{}",
+            std::process::id(),
+            SAVE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = (|| {
+            let mut out = io::BufWriter::new(std::fs::File::create(&tmp)?);
+            self.save_to_writer(&mut out)?;
+            let file = out.into_inner().map_err(io::IntoInnerError::into_error)?;
+            file.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Loads a cache persisted by [`Self::save_to`], streaming one line at
+    /// a time (a multi-gigabyte persisted cache is never double-buffered
+    /// in memory at boot). Malformed or truncated files — the `eof
+    /// <count>` trailer must be present and agree with the entry count —
+    /// are rejected with `InvalidData`; entries that are structurally
+    /// sound but wrong (hand-edited schedules, stale claims) survive
+    /// loading and are rejected at hit time by re-certification.
     pub fn load_from(path: &Path) -> io::Result<ScheduleCache> {
-        let reader = io::BufReader::new(std::fs::File::open(path)?);
-        let lines: Vec<String> = reader.lines().collect::<io::Result<_>>()?;
-        let mut it = lines.into_iter();
-        let header = it.next().unwrap_or_default();
+        Self::load_from_reader(io::BufReader::new(std::fs::File::open(path)?))
+    }
+
+    /// [`Self::load_from`] over any buffered reader (the daemon's tests
+    /// and tooling feed in-memory buffers through the same parser).
+    pub fn load_from_reader(reader: impl BufRead) -> io::Result<ScheduleCache> {
+        let mut lines = LineStream::new(reader);
+        let header = lines.expect_line("header")?;
         if header.trim() != "schedcache v1" {
             return Err(bad_data("not a schedcache v1 file"));
         }
         let cache = ScheduleCache::new();
-        let mut it = it.peekable();
-        while let Some(line) = it.next() {
-            if line.trim().is_empty() {
+        let mut entries = 0u64;
+        let claimed: u64 = loop {
+            let Some(line) = lines.next_line()? else {
+                return Err(bad_data("truncated file: missing `eof` trailer"));
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
                 continue;
+            }
+            if let Some(count) = trimmed.strip_prefix("eof ") {
+                break count
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad_data("bad `eof` entry count"))?;
             }
             let key = parse_prefixed(&line, "key ")?;
             let key = u64::from_str_radix(key.trim_start_matches("0x"), 16)
                 .map_err(|_| bad_data("bad key"))?;
-            let cfg_line = it.next().ok_or_else(|| bad_data("missing cfg"))?;
+            let cfg_line = lines.expect_line("cfg")?;
             let (scheduler, aco, revert, occ) = parse_cfg_line(&cfg_line)?;
-            let ddg_header = it.next().ok_or_else(|| bad_data("missing ddg"))?;
+            let ddg_header = lines.expect_line("ddg")?;
             let n_lines: usize = parse_prefixed(&ddg_header, "ddg ")?
                 .parse()
                 .map_err(|_| bad_data("bad ddg line count"))?;
             let mut text = String::new();
             for _ in 0..n_lines {
-                let l = it.next().ok_or_else(|| bad_data("truncated ddg"))?;
+                let l = lines.expect_line("ddg line")?;
                 text.push_str(&l);
                 text.push('\n');
             }
             let ddg = textir::parse(&text).map_err(|e| bad_data(&e.to_string()))?;
-            let comp = read_comp(&mut it, ddg.len())?;
-            match it.next().as_deref().map(str::trim) {
-                Some("end") => {}
-                _ => return Err(bad_data("missing entry terminator")),
+            let comp = read_comp(&mut lines, ddg.len())?;
+            if lines.expect_line("entry terminator")?.trim() != "end" {
+                return Err(bad_data("missing entry terminator"));
             }
             cache.shard(key).insert(
                 key,
@@ -440,8 +515,43 @@ impl ScheduleCache {
                     payload: Payload::Solo { ddg, comp },
                 }),
             );
+            entries += 1;
+        };
+        if claimed != entries {
+            return Err(bad_data(&format!(
+                "`eof` trailer claims {claimed} entries, file holds {entries}"
+            )));
+        }
+        while let Some(l) = lines.next_line()? {
+            if !l.trim().is_empty() {
+                return Err(bad_data("content after `eof` trailer"));
+            }
         }
         Ok(cache)
+    }
+}
+
+/// Streaming line source over a `BufRead`: one line in memory at a time.
+struct LineStream<R: BufRead> {
+    lines: io::Lines<R>,
+}
+
+impl<R: BufRead> LineStream<R> {
+    fn new(reader: R) -> LineStream<R> {
+        LineStream {
+            lines: reader.lines(),
+        }
+    }
+
+    /// Next line, `None` at end of file; I/O errors propagate.
+    fn next_line(&mut self) -> io::Result<Option<String>> {
+        self.lines.next().transpose()
+    }
+
+    /// Next line, or `InvalidData` when the file ends early.
+    fn expect_line(&mut self, what: &str) -> io::Result<String> {
+        self.next_line()?
+            .ok_or_else(|| bad_data(&format!("truncated file: missing {what}")))
     }
 }
 
@@ -885,20 +995,17 @@ fn sres_of_aco(a: &AcoResult) -> ScheduleResult {
     }
 }
 
-fn read_comp(
-    it: &mut std::iter::Peekable<impl Iterator<Item = String>>,
-    n: usize,
-) -> io::Result<RegionCompilation> {
-    let comp_line = it.next().ok_or_else(|| bad_data("missing comp"))?;
+fn read_comp(it: &mut LineStream<impl BufRead>, n: usize) -> io::Result<RegionCompilation> {
+    let comp_line = it.expect_line("comp")?;
     let toks: Vec<&str> = parse_prefixed(&comp_line, "comp ")?
         .split_whitespace()
         .collect();
     if toks.len() != 8 {
         return Err(bad_data("comp expects 8 fields"));
     }
-    let heur_line = it.next().ok_or_else(|| bad_data("missing heuristic"))?;
+    let heur_line = it.expect_line("heuristic")?;
     let heuristic = read_sres(&heur_line, "heur", n)?;
-    let aco_line = it.next().ok_or_else(|| bad_data("missing aco"))?;
+    let aco_line = it.expect_line("aco")?;
     let aco_body = parse_prefixed(&aco_line, "aco ")?;
     let aco = if aco_body.trim() == "none" {
         None
@@ -911,12 +1018,12 @@ fn read_comp(
         if atoks.len() != 6 {
             return Err(bad_data("aco line expects 6 fields"));
         }
-        let asched_line = it.next().ok_or_else(|| bad_data("missing aco schedule"))?;
+        let asched_line = it.expect_line("aco schedule")?;
         let asched = read_sres(&asched_line, "asched", n)?;
-        let initial_line = it.next().ok_or_else(|| bad_data("missing initial"))?;
+        let initial_line = it.expect_line("initial")?;
         let initial = read_sres(&initial_line, "initial", n)?;
-        let p1_line = it.next().ok_or_else(|| bad_data("missing pass1"))?;
-        let p2_line = it.next().ok_or_else(|| bad_data("missing pass2"))?;
+        let p1_line = it.expect_line("pass1")?;
+        let p2_line = it.expect_line("pass2")?;
         let int = |s: &str| -> io::Result<u32> { s.parse().map_err(|_| bad_data("bad integer")) };
         Some(AcoResult {
             schedule: asched.schedule,
@@ -1164,7 +1271,163 @@ mod tests {
         assert!(ScheduleCache::load_from(&path).is_err());
         std::fs::write(&path, "schedcache v1\nkey 0x12\ngarbage\n").unwrap();
         assert!(ScheduleCache::load_from(&path).is_err());
+        // An empty file is missing even the header.
+        std::fs::write(&path, "").unwrap();
+        assert!(ScheduleCache::load_from(&path).is_err());
+        // A well-formed body without the `eof` trailer is a truncation.
+        std::fs::write(&path, "schedcache v1\n").unwrap();
+        assert!(ScheduleCache::load_from(&path).is_err());
+        // Trailer entry-count mismatches are rejected.
+        std::fs::write(&path, "schedcache v1\neof 3\n").unwrap();
+        assert!(ScheduleCache::load_from(&path).is_err());
+        // Content after the trailer is rejected.
+        std::fs::write(&path, "schedcache v1\neof 0\nkey 0x1\n").unwrap();
+        assert!(ScheduleCache::load_from(&path).is_err());
+        // The empty cache itself round-trips.
+        std::fs::write(&path, "schedcache v1\neof 0\n").unwrap();
+        assert_eq!(ScheduleCache::load_from(&path).unwrap().len(), 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A writer that accepts a bounded number of bytes and then fails, and
+    /// can be told to fail on `flush` — models ENOSPC/EIO surfacing at the
+    /// final buffered write, the exact error `BufWriter`'s drop swallows.
+    struct FailingWriter {
+        budget: usize,
+        fail_flush: bool,
+    }
+
+    impl io::Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if buf.len() > self.budget {
+                return Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"));
+            }
+            self.budget -= buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            if self.fail_flush {
+                Err(io::Error::new(io::ErrorKind::StorageFull, "flush failed"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    /// The save path must report failures instead of returning `Ok(())`:
+    /// both a mid-stream write error and a flush-time error (the historical
+    /// bug — `BufWriter`'s drop silently discarded it).
+    #[test]
+    fn save_reports_write_and_flush_errors() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::BaseAmd);
+        let cache = ScheduleCache::new();
+        cache.compile_solo(&sample_ddg(3), &occ, &c);
+
+        let mut out = FailingWriter {
+            budget: 64,
+            fail_flush: false,
+        };
+        let err = cache.save_to_writer(&mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+
+        // Errors surfacing only at flush time (buffered tail write) must
+        // propagate too.
+        let mut out = io::BufWriter::new(FailingWriter {
+            budget: usize::MAX,
+            fail_flush: true,
+        });
+        let err = cache.save_to_writer(&mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+    }
+
+    /// `save_to` goes through a sibling temp file + atomic rename: saving
+    /// over an existing cache fully replaces it, leaves no temp droppings,
+    /// and a save into a missing directory errors without touching
+    /// anything.
+    #[test]
+    fn save_is_atomic_and_cleans_up() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::BaseAmd);
+        let dir = std::env::temp_dir().join(format!("schedcache_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.txt");
+
+        let first = ScheduleCache::new();
+        first.compile_solo(&sample_ddg(1), &occ, &c);
+        first.save_to(&path).unwrap();
+        let second = ScheduleCache::new();
+        second.compile_solo(&sample_ddg(2), &occ, &c);
+        second.compile_solo(&sample_ddg(3), &occ, &c);
+        second.save_to(&path).unwrap();
+
+        // The target holds exactly the second save (byte-for-byte what the
+        // writer emits) and the directory holds no temp file.
+        let mut expect = Vec::new();
+        second.save_to_writer(&mut expect).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), expect);
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["cache.txt".to_string()], "temp file leaked");
+
+        // A failing save (missing parent directory) errors out loud.
+        let missing = dir.join("nope").join("cache.txt");
+        assert!(second.save_to(&missing).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The durability property the daemon's persist-on-shutdown depends
+    /// on: a persisted cache truncated at *every* line boundary (and at
+    /// assorted mid-line byte offsets) is rejected with a clean
+    /// `InvalidData` error — never a panic, never a half-loaded cache that
+    /// serves hits from the surviving prefix.
+    #[test]
+    fn truncation_fuzz_never_half_loads() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::ParallelAco);
+        let base = cfg(SchedulerKind::BaseAmd);
+        let cache = ScheduleCache::new();
+        for seed in 1..4 {
+            cache.compile_solo(&sample_ddg(seed), &occ, &c);
+        }
+        // A no-ACO entry too, so the fuzz crosses both comp layouts.
+        cache.compile_solo(&sample_ddg(1), &occ, &base);
+        let mut bytes = Vec::new();
+        cache.save_to_writer(&mut bytes).unwrap();
+
+        // The intact file loads completely.
+        assert_eq!(
+            ScheduleCache::load_from_reader(io::BufReader::new(&bytes[..]))
+                .unwrap()
+                .len(),
+            cache.len()
+        );
+
+        // Every proper prefix ending at a line boundary must be rejected.
+        let mut cut_points: Vec<usize> = bytes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b == b'\n')
+            .map(|(i, _)| i + 1)
+            .filter(|&i| i < bytes.len())
+            .collect();
+        cut_points.push(0);
+        // And a spread of mid-line offsets (never the full length).
+        cut_points.extend((1..bytes.len()).step_by(97));
+        for cut in cut_points {
+            let prefix = &bytes[..cut];
+            let err = match ScheduleCache::load_from_reader(io::BufReader::new(prefix)) {
+                Err(e) => e,
+                Ok(_) => panic!("truncation at byte {cut} must not load"),
+            };
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "truncation at byte {cut} must be InvalidData, got {err}"
+            );
+        }
     }
 
     #[test]

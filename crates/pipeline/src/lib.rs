@@ -47,9 +47,9 @@ pub use batch::plan_batches;
 pub use cache::{CacheStats, ScheduleCache};
 pub use config::{AnalyzeConfig, BatchingConfig, CacheConfig, PipelineConfig, SchedulerKind};
 pub use exec_model::{benchmark_throughput, kernel_time_us, ExecModel};
-pub use host_pool::{plan_jobs as plan_suite_jobs, RegionJob};
+pub use host_pool::{plan_jobs as plan_suite_jobs, RegionJob, RegionOutcome};
 pub use region::{compile_region, FinalChoice, RegionCompilation};
 pub use suite_run::{
     compile_suite, compile_suite_observed, compile_suite_timed, compile_suite_with_cache,
-    RegionRecord, SuiteRun, SuiteWallclock,
+    merge_job_results, RegionRecord, SuiteRun, SuiteWallclock,
 };

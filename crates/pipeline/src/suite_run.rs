@@ -227,7 +227,15 @@ pub fn compile_suite_timed(
 /// the kernel-level post filter and the modeled-time accounting. Every
 /// float accumulation happens here, in one fixed order, so the result is
 /// independent of how phase 1 was executed.
-fn merge_job_results<F>(
+///
+/// Public so out-of-crate executors — the `sched-serve` daemon runs suite
+/// jobs through its own admission-controlled priority queue — can run
+/// [`crate::host_pool::run_job`] in *any* order and still produce the
+/// byte-identical [`SuiteRun`] this crate's own compilers return: `jobs`
+/// must be [`plan_jobs`]'s canonical list and `results` its per-job
+/// outcomes indexed the same way. [`SuiteRun::cache`] is left zeroed
+/// (callers sharing a long-lived cache report deltas themselves).
+pub fn merge_job_results<F>(
     suite: &Suite,
     occ: &OccupancyModel,
     cfg: &PipelineConfig,

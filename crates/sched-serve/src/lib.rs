@@ -1,0 +1,45 @@
+//! Scheduling-as-a-service: a long-running compile server over the
+//! pipeline.
+//!
+//! The one-shot CLI pays the whole warm-up cost — process boot, cache
+//! load, first-compilation misses — on every invocation. Real fleets are
+//! duplicate-heavy (`BENCH_cache.json`: 62.7% of lookups repeat), so the
+//! "millions of users" shape is a daemon that keeps **one warm
+//! [`pipeline::ScheduleCache`] shared across all clients**: preloaded on
+//! boot, consulted by every request, persisted atomically on shutdown and
+//! on demand. This crate is that daemon, deliberately built as a
+//! *transport layer, not a new semantics*:
+//!
+//! * [`proto`] — the line-delimited request/response framing spoken over
+//!   stdio or a Unix socket. A `schedule` response body is **byte
+//!   identical** to what `gpu-aco-cli schedule` prints for the same
+//!   input, because both sides call [`render::schedule_report`]; a
+//!   `suite` response pins the run with the same suite fingerprint the
+//!   golden tests use.
+//! * [`planner`] — admission control and backpressure: a bounded
+//!   priority queue with atomic batch admission, a typed `overloaded`
+//!   rejection when full, per-request deadlines with a typed `expired`
+//!   response, and smallest-first service so small regions jump the
+//!   queue (the same discipline `host_pool::plan_jobs` feeds it).
+//! * [`server`] — the engine: worker threads draining the planner
+//!   through [`pipeline::host_pool::run_job`] and the shared cache,
+//!   per-connection request parsing, graceful drain on SIGTERM/EOF, and
+//!   the `stats` surface exposing cache counters and the per-phase
+//!   latencies [`pipeline::SuiteRun`] tracks.
+//! * [`render`] — the one-shot CLI's report rendering, factored out so
+//!   daemon and CLI cannot drift apart byte-wise.
+//! * [`signal`] — a dependency-free SIGTERM/SIGINT flag for the drain.
+
+pub mod planner;
+pub mod proto;
+pub mod render;
+pub mod server;
+pub mod signal;
+pub mod stats;
+
+pub use planner::{Overloaded, Planner};
+pub use proto::{parse_request_line, read_response, render_response, Parsed, Response};
+#[cfg(unix)]
+pub use server::serve_unix;
+pub use server::{handle_connection, serve_stdio, Engine, ServeConfig, Server};
+pub use stats::ServeStats;

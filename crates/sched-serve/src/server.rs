@@ -1,0 +1,675 @@
+//! The serve engine: workers, connections, transports, shutdown.
+//!
+//! One [`Engine`] per daemon holds the three shared pieces — the warm
+//! [`ScheduleCache`], the [`Planner`] admission queue, and the
+//! [`ServeStats`] counters. Connection threads parse requests and submit
+//! work; a fixed pool of compile workers drains the planner in
+//! smallest-first order through the same pipeline entry points the
+//! one-shot CLI uses ([`ScheduleCache::compile_solo`],
+//! [`pipeline::host_pool::run_job`]). Responses travel back through a
+//! per-connection [`ResponseWriter`] so completions can interleave across
+//! a connection's outstanding requests.
+//!
+//! Shutdown is a *drain*: on SIGTERM/SIGINT (socket transport) or EOF
+//! (stdio transport) the daemon stops admitting, lets every queued and
+//! in-flight request finish and respond, then persists the shared cache
+//! atomically ([`ScheduleCache::save_to`] writes a temp sibling and
+//! renames) before exiting. A `kill -9` mid-save therefore never leaves a
+//! half-written cache at the configured path.
+
+use crate::planner::Planner;
+use crate::proto::{self, Parsed, Response, ScheduleOpts, SuiteOpts};
+use crate::render;
+use crate::signal;
+use crate::stats::ServeStats;
+use machine_model::OccupancyModel;
+use pipeline::host_pool::{plan_jobs, run_job, RegionJob, RegionOutcome};
+use pipeline::{merge_job_results, PipelineConfig, ScheduleCache, SchedulerKind};
+use sched_ir::{textir, Ddg};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How the daemon is configured at boot.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Compile worker threads.
+    pub workers: usize,
+    /// Planner queue capacity (queued items; in-flight excluded).
+    pub queue_capacity: usize,
+    /// Cache persistence path: preloaded on boot when it exists, written
+    /// on shutdown and on `flush`. `None` disables persistence (the warm
+    /// in-memory cache still serves all clients).
+    pub cache_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            queue_capacity: 256,
+            cache_path: None,
+        }
+    }
+}
+
+/// A per-connection response channel. Responses are rendered first and
+/// written under one lock as a single `write_all` + flush, so concurrent
+/// worker completions never interleave bytes. Write errors are swallowed:
+/// a vanished client must not take a worker down.
+pub struct ResponseWriter {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl ResponseWriter {
+    fn new(out: Box<dyn Write + Send>) -> ResponseWriter {
+        ResponseWriter {
+            out: Mutex::new(out),
+        }
+    }
+
+    fn send(&self, id: &str, resp: &Response) {
+        let rendered = proto::render_response(id, resp);
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = out.write_all(rendered.as_bytes());
+        let _ = out.flush();
+    }
+}
+
+/// Everything a completion needs to answer its request.
+struct RequestCtx {
+    id: String,
+    out: Arc<ResponseWriter>,
+    arrived: Instant,
+    deadline: Option<Instant>,
+    deadline_ms: u64,
+}
+
+impl RequestCtx {
+    /// True (and responds `expired`) when the request out-waited its
+    /// deadline before service began.
+    fn expired_at(&self, now: Instant, stats: &ServeStats) -> bool {
+        match self.deadline {
+            Some(d) if now >= d => {
+                let waited = now.duration_since(self.arrived).as_millis() as u64;
+                self.out.send(
+                    &self.id,
+                    &Response::Expired {
+                        waited_ms: waited,
+                        deadline_ms: self.deadline_ms,
+                    },
+                );
+                ServeStats::bump(&stats.expired, 1);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One `schedule` request, ready to compile.
+struct RegionWork {
+    ddg: Ddg,
+    occ: OccupancyModel,
+    cfg: PipelineConfig,
+    kind: SchedulerKind,
+    ctx: RequestCtx,
+}
+
+/// Shared state of one `suite` request, split into per-job work items.
+/// The last job to finish runs the canonical sequential merge
+/// ([`merge_job_results`]), which is what keeps the response byte-independent
+/// of service order.
+struct SuiteState {
+    suite: workloads::Suite,
+    occ: OccupancyModel,
+    cfg: PipelineConfig,
+    jobs: Vec<RegionJob>,
+    results: Mutex<Vec<Option<Vec<RegionOutcome>>>>,
+    remaining: AtomicUsize,
+    expired: AtomicBool,
+    ctx: RequestCtx,
+}
+
+enum Work {
+    Region(Box<RegionWork>),
+    SuiteJob {
+        state: Arc<SuiteState>,
+        index: usize,
+    },
+}
+
+/// The daemon's shared core: one warm cache, one admission queue, one set
+/// of counters.
+pub struct Engine {
+    /// The cache every request consults; preloaded on boot, persisted on
+    /// shutdown/flush.
+    pub cache: ScheduleCache,
+    planner: Planner<Work>,
+    stats: ServeStats,
+    cache_path: Option<PathBuf>,
+}
+
+impl Engine {
+    /// Renders the `stats` payload.
+    fn stats_report(&self) -> String {
+        self.stats
+            .report(&self.cache.stats(), self.planner.queued())
+    }
+
+    /// Persists the cache to the configured path (atomic temp + rename).
+    fn flush(&self) -> Result<PathBuf, String> {
+        let path = self
+            .cache_path
+            .as_ref()
+            .ok_or("no cache file configured (start with --cache FILE)")?;
+        self.cache
+            .save_to(path)
+            .map_err(|e| format!("writing cache {}: {e}", path.display()))?;
+        Ok(path.clone())
+    }
+}
+
+/// A running daemon: the engine plus its worker pool.
+pub struct Server {
+    engine: Arc<Engine>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Boots the engine: loads the cache from `cache_path` when the file
+    /// exists (a corrupt or truncated file is a boot error, not a silent
+    /// empty cache) and starts the worker pool.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let cache = match &config.cache_path {
+            Some(p) if p.exists() => ScheduleCache::load_from(p)?,
+            _ => ScheduleCache::new(),
+        };
+        let engine = Arc::new(Engine {
+            cache,
+            planner: Planner::new(config.queue_capacity),
+            stats: ServeStats::default(),
+            cache_path: config.cache_path,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || worker_loop(&engine))
+            })
+            .collect();
+        Ok(Server { engine, workers })
+    }
+
+    /// The shared core, for connection handlers.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Graceful drain: stop admission, finish and answer everything
+    /// queued or in flight, join the workers, persist the cache.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.engine.planner.drain();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        if self.engine.cache_path.is_some() {
+            self.engine
+                .flush()
+                .map_err(|e| io::Error::other(format!("persisting cache on shutdown: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until nothing is queued or in flight (test aid).
+    pub fn wait_idle(&self) {
+        self.engine.planner.wait_idle();
+    }
+}
+
+fn worker_loop(engine: &Engine) {
+    while let Some(work) = engine.planner.pop() {
+        let started = Instant::now();
+        match work {
+            Work::Region(w) => run_region(engine, *w, started),
+            Work::SuiteJob { state, index } => run_suite_job(engine, &state, index, started),
+        }
+        engine.planner.task_done();
+    }
+}
+
+fn run_region(engine: &Engine, w: RegionWork, started: Instant) {
+    let waited_us = started.duration_since(w.ctx.arrived).as_micros() as u64;
+    if w.ctx.expired_at(started, &engine.stats) {
+        return;
+    }
+    let comp = engine.cache.compile_solo(&w.ddg, &w.occ, &w.cfg);
+    let resp = match render::schedule_report(&w.ddg, &w.occ, w.kind, &comp) {
+        Ok(payload) => {
+            ServeStats::bump(&engine.stats.served, 1);
+            Response::Ok { payload }
+        }
+        Err(message) => {
+            ServeStats::bump(&engine.stats.errors, 1);
+            Response::Err { message }
+        }
+    };
+    w.ctx.out.send(&w.ctx.id, &resp);
+    ServeStats::bump(&engine.stats.regions, 1);
+    ServeStats::bump(&engine.stats.queue_wait_us, waited_us);
+    ServeStats::bump(
+        &engine.stats.service_us,
+        started.elapsed().as_micros() as u64,
+    );
+}
+
+fn run_suite_job(engine: &Engine, state: &SuiteState, index: usize, started: Instant) {
+    let waited_us = started.duration_since(state.ctx.arrived).as_micros() as u64;
+    ServeStats::bump(&engine.stats.queue_wait_us, waited_us);
+    // First worker past the deadline answers `expired` for the whole
+    // request; the swap guarantees exactly one response. Remaining jobs
+    // still drain through here (cheaply) to keep the accounting simple.
+    if !state.expired.load(Ordering::SeqCst) {
+        if let Some(d) = state.ctx.deadline {
+            if started >= d && !state.expired.swap(true, Ordering::SeqCst) {
+                let waited = started.duration_since(state.ctx.arrived).as_millis() as u64;
+                state.ctx.out.send(
+                    &state.ctx.id,
+                    &Response::Expired {
+                        waited_ms: waited,
+                        deadline_ms: state.ctx.deadline_ms,
+                    },
+                );
+                ServeStats::bump(&engine.stats.expired, 1);
+            }
+        }
+    }
+    if !state.expired.load(Ordering::SeqCst) {
+        let outcomes = run_job(
+            &state.jobs[index],
+            &state.suite,
+            &state.occ,
+            &state.cfg,
+            Some(&engine.cache),
+        );
+        let mut results = state.results.lock().unwrap_or_else(PoisonError::into_inner);
+        results[index] = Some(outcomes);
+    }
+    ServeStats::bump(
+        &engine.stats.suite_jobs_us,
+        started.elapsed().as_micros() as u64,
+    );
+    ServeStats::bump(
+        &engine.stats.service_us,
+        started.elapsed().as_micros() as u64,
+    );
+    if state.remaining.fetch_sub(1, Ordering::SeqCst) == 1 && !state.expired.load(Ordering::SeqCst)
+    {
+        finish_suite(engine, state);
+    }
+}
+
+fn finish_suite(engine: &Engine, state: &SuiteState) {
+    let t_merge = Instant::now();
+    let results: Vec<Vec<RegionOutcome>> = {
+        let mut slots = state.results.lock().unwrap_or_else(PoisonError::into_inner);
+        slots
+            .iter_mut()
+            .map(|s| s.take().expect("every suite job recorded a result"))
+            .collect()
+    };
+    let run = merge_job_results(
+        &state.suite,
+        &state.occ,
+        &state.cfg,
+        &state.jobs,
+        results,
+        Some(&engine.cache),
+        |_, _, _, _, _| {},
+    );
+    ServeStats::bump(
+        &engine.stats.suite_merge_us,
+        t_merge.elapsed().as_micros() as u64,
+    );
+    ServeStats::bump(&engine.stats.suites, 1);
+    ServeStats::bump(&engine.stats.served, 1);
+    state.ctx.out.send(
+        &state.ctx.id,
+        &Response::Ok {
+            payload: render::suite_report(&run),
+        },
+    );
+}
+
+/// Reads one line, surviving the socket transport's short read timeouts:
+/// a timed-out `read_line` keeps whatever partial line it already
+/// appended to `buf`, so retrying continues the same line. Returns
+/// `Ok(false)` on EOF or requested shutdown.
+fn read_line_patient(reader: &mut impl BufRead, buf: &mut String) -> io::Result<bool> {
+    loop {
+        match reader.read_line(buf) {
+            Ok(0) => return Ok(false),
+            Ok(_) if buf.ends_with('\n') => return Ok(true),
+            // A mid-line timeout can return Ok(n) without a newline on
+            // some platforms; treat it like the error case and retry.
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+        if signal::shutdown_requested() {
+            return Ok(false);
+        }
+    }
+}
+
+/// Serves one connection until EOF, shutdown, or a fatal transport error.
+/// `stats`/`flush` are answered inline; `schedule`/`suite` go through the
+/// planner and are answered by workers, possibly after this function
+/// returns (the shared [`ResponseWriter`] outlives the read loop).
+pub fn handle_connection(
+    engine: &Arc<Engine>,
+    mut reader: impl BufRead,
+    writer: Box<dyn Write + Send>,
+) {
+    let out = Arc::new(ResponseWriter::new(writer));
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match read_line_patient(&mut reader, &mut line) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => break,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        ServeStats::bump(&engine.stats.received, 1);
+        let (id, parsed) = match proto::parse_request_line(&line) {
+            Ok(p) => p,
+            Err(e) => {
+                ServeStats::bump(&engine.stats.errors, 1);
+                out.send(
+                    e.id.as_deref().unwrap_or("-"),
+                    &Response::Err { message: e.msg },
+                );
+                continue;
+            }
+        };
+        match parsed {
+            Parsed::Stats => {
+                ServeStats::bump(&engine.stats.served, 1);
+                out.send(
+                    &id,
+                    &Response::Ok {
+                        payload: engine.stats_report(),
+                    },
+                );
+            }
+            Parsed::Flush => match engine.flush() {
+                Ok(path) => {
+                    ServeStats::bump(&engine.stats.flushes, 1);
+                    ServeStats::bump(&engine.stats.served, 1);
+                    out.send(
+                        &id,
+                        &Response::Ok {
+                            payload: format!("flushed {}\n", path.display()),
+                        },
+                    );
+                }
+                Err(message) => {
+                    ServeStats::bump(&engine.stats.errors, 1);
+                    out.send(&id, &Response::Err { message });
+                }
+            },
+            Parsed::Schedule {
+                opts,
+                payload_lines,
+            } => {
+                let payload = match read_payload(&mut reader, payload_lines) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        // Truncated payload: the stream is desynchronized
+                        // beyond recovery; answer and drop the connection.
+                        ServeStats::bump(&engine.stats.errors, 1);
+                        out.send(
+                            &id,
+                            &Response::Err {
+                                message: "truncated ddg payload".into(),
+                            },
+                        );
+                        break;
+                    }
+                };
+                submit_schedule(engine, &out, id, opts, &payload);
+            }
+            Parsed::Suite(opts) => submit_suite(engine, &out, id, opts),
+        }
+    }
+}
+
+fn read_payload(reader: &mut impl BufRead, lines: usize) -> io::Result<String> {
+    let mut payload = String::new();
+    for _ in 0..lines {
+        if !read_line_patient(reader, &mut payload)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated payload",
+            ));
+        }
+    }
+    Ok(payload)
+}
+
+fn request_ctx(id: String, out: &Arc<ResponseWriter>, deadline_ms: Option<u64>) -> RequestCtx {
+    let arrived = Instant::now();
+    RequestCtx {
+        id,
+        out: Arc::clone(out),
+        arrived,
+        deadline: deadline_ms.map(|ms| arrived + Duration::from_millis(ms)),
+        deadline_ms: deadline_ms.unwrap_or(0),
+    }
+}
+
+fn submit_schedule(
+    engine: &Arc<Engine>,
+    out: &Arc<ResponseWriter>,
+    id: String,
+    opts: ScheduleOpts,
+    payload: &str,
+) {
+    let ddg = match textir::parse(payload) {
+        Ok(d) => d,
+        Err(e) => {
+            ServeStats::bump(&engine.stats.errors, 1);
+            out.send(
+                &id,
+                &Response::Err {
+                    message: format!("parsing region: {e}"),
+                },
+            );
+            return;
+        }
+    };
+    let occ = if opts.unit_aprp {
+        OccupancyModel::unit()
+    } else {
+        OccupancyModel::vega_like()
+    };
+    let mut cfg = PipelineConfig::paper(opts.scheduler, opts.seed);
+    cfg.aco.blocks = opts.blocks;
+    let priority = ddg.len() as u64;
+    let work = Work::Region(Box::new(RegionWork {
+        ddg,
+        occ,
+        cfg,
+        kind: opts.scheduler,
+        ctx: request_ctx(id.clone(), out, opts.deadline_ms),
+    }));
+    if let Err(over) = engine.planner.submit(vec![(priority, work)]) {
+        ServeStats::bump(&engine.stats.overloaded, 1);
+        out.send(
+            &id,
+            &Response::Overloaded {
+                queued: over.queued,
+                capacity: over.capacity,
+            },
+        );
+    }
+}
+
+fn submit_suite(engine: &Arc<Engine>, out: &Arc<ResponseWriter>, id: String, opts: SuiteOpts) {
+    let t_plan = Instant::now();
+    let suite = workloads::Suite::generate(&workloads::SuiteConfig::scaled(opts.seed, opts.scale));
+    // The pipeline seed stays 0 — the golden-fingerprint configuration;
+    // the request's `seed` parameterizes workload generation, so
+    // `suite seed=5` reproduces the pinned SUITE_GOLDEN fingerprints.
+    let mut cfg = PipelineConfig::paper(opts.scheduler, 0);
+    cfg.aco.blocks = opts.blocks;
+    cfg.aco.pass2_gate_cycles = opts.gate;
+    let occ = if opts.unit_aprp {
+        OccupancyModel::unit()
+    } else {
+        OccupancyModel::vega_like()
+    };
+    let jobs = plan_jobs(&suite, &cfg);
+    ServeStats::bump(
+        &engine.stats.suite_plan_us,
+        t_plan.elapsed().as_micros() as u64,
+    );
+    let ctx = request_ctx(id.clone(), out, opts.deadline_ms);
+    if jobs.is_empty() {
+        // Degenerate scale: nothing to queue; merge the empty job list
+        // inline for a well-formed (if trivial) report.
+        let run = merge_job_results(
+            &suite,
+            &occ,
+            &cfg,
+            &jobs,
+            Vec::new(),
+            Some(&engine.cache),
+            |_, _, _, _, _| {},
+        );
+        ServeStats::bump(&engine.stats.suites, 1);
+        ServeStats::bump(&engine.stats.served, 1);
+        ctx.out.send(
+            &ctx.id,
+            &Response::Ok {
+                payload: render::suite_report(&run),
+            },
+        );
+        return;
+    }
+    let priorities: Vec<u64> = jobs
+        .iter()
+        .map(|job| match job {
+            RegionJob::Solo { kernel, region } => {
+                suite.kernels[*kernel].regions[*region].len() as u64
+            }
+            RegionJob::Group { kernel, members } => members
+                .iter()
+                .map(|&ri| suite.kernels[*kernel].regions[ri].len() as u64)
+                .sum(),
+        })
+        .collect();
+    let n_jobs = jobs.len();
+    let state = Arc::new(SuiteState {
+        suite,
+        occ,
+        cfg,
+        jobs,
+        results: Mutex::new((0..n_jobs).map(|_| None).collect()),
+        remaining: AtomicUsize::new(n_jobs),
+        expired: AtomicBool::new(false),
+        ctx,
+    });
+    let batch: Vec<(u64, Work)> = priorities
+        .into_iter()
+        .enumerate()
+        .map(|(index, p)| {
+            (
+                p,
+                Work::SuiteJob {
+                    state: Arc::clone(&state),
+                    index,
+                },
+            )
+        })
+        .collect();
+    if let Err(over) = engine.planner.submit(batch) {
+        ServeStats::bump(&engine.stats.overloaded, 1);
+        state.ctx.out.send(
+            &id,
+            &Response::Overloaded {
+                queued: over.queued,
+                capacity: over.capacity,
+            },
+        );
+    }
+}
+
+/// Serves the stdio transport: requests on stdin, responses on stdout.
+/// EOF triggers the graceful drain (persisting the cache); the exit path
+/// every pipe-driven client exercises.
+pub fn serve_stdio(config: ServeConfig) -> io::Result<()> {
+    let server = Server::start(config)?;
+    let stdin = io::stdin();
+    let engine = Arc::clone(server.engine());
+    handle_connection(&engine, stdin.lock(), Box::new(io::stdout()));
+    server.shutdown()
+}
+
+/// Serves the Unix-socket transport at `socket_path` until SIGTERM/SIGINT,
+/// then drains gracefully and persists the cache. Accepts any number of
+/// concurrent client connections, each on its own thread.
+#[cfg(unix)]
+pub fn serve_unix(socket_path: &Path, config: ServeConfig) -> io::Result<()> {
+    use std::os::unix::net::UnixListener;
+
+    signal::install_shutdown_handler();
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(socket_path);
+    let listener = UnixListener::bind(socket_path)?;
+    listener.set_nonblocking(true)?;
+    let server = Server::start(config)?;
+    let mut connections = Vec::new();
+    while !signal::shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Blocking I/O with a short read timeout: the read loop
+                // stays responsive to the shutdown flag without busy
+                // polling.
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+                let engine = Arc::clone(server.engine());
+                let writer = stream.try_clone()?;
+                connections.push(std::thread::spawn(move || {
+                    handle_connection(&engine, BufReader::new(stream), Box::new(writer));
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                let _ = std::fs::remove_file(socket_path);
+                return Err(e);
+            }
+        }
+    }
+    // Drain: connection threads notice the flag within one read timeout;
+    // queued work keeps its Arc'd writers, so late responses still reach
+    // clients that stay connected.
+    for c in connections {
+        let _ = c.join();
+    }
+    let result = server.shutdown();
+    let _ = std::fs::remove_file(socket_path);
+    result
+}

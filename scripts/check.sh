@@ -46,6 +46,41 @@ if [[ "${1:-}" != "--fast" ]]; then
     cmp "$smoke_dir/cache_on.txt" "$smoke_dir/cache_off.txt"
     cmp "$smoke_dir/cache_on.txt" "$smoke_dir/cache_on2.txt"
 
+    echo "==> serve daemon smoke"
+    # Boot the daemon on a Unix socket, preloading the cache the smoke
+    # above persisted; serve two concurrent clients plus a stats request;
+    # SIGTERM-drain it; then verify the persisted cache still answers the
+    # one-shot CLI with a hit. Responses must be byte-identical to the
+    # one-shot `schedule` output for the same inputs.
+    ./target/release/gpu-aco-cli serve --socket "$smoke_dir/daemon.sock" \
+        --cache "$smoke_dir/sched.cache" &
+    serve_pid=$!
+    for _ in $(seq 100); do
+        [[ -S "$smoke_dir/daemon.sock" ]] && break
+        sleep 0.05
+    done
+    [[ -S "$smoke_dir/daemon.sock" ]] || { echo "daemon never bound its socket"; exit 1; }
+    ./target/release/gpu-aco-cli request --socket "$smoke_dir/daemon.sock" \
+        schedule "$smoke_dir/region.txt" --blocks 8 > "$smoke_dir/serve1.txt" &
+    req1=$!
+    ./target/release/gpu-aco-cli request --socket "$smoke_dir/daemon.sock" \
+        schedule "$smoke_dir/region2.txt" --scheduler amd > "$smoke_dir/serve2.txt" &
+    req2=$!
+    wait "$req1" "$req2"
+    cmp "$smoke_dir/serve1.txt" "$smoke_dir/cache_on.txt"
+    ./target/release/gpu-aco-cli schedule "$smoke_dir/region2.txt" --no-cache \
+        --scheduler amd > "$smoke_dir/oneshot2.txt"
+    cmp "$smoke_dir/serve2.txt" "$smoke_dir/oneshot2.txt"
+    ./target/release/gpu-aco-cli request --socket "$smoke_dir/daemon.sock" stats \
+        | grep -q "regions compiled" || { echo "stats response malformed"; exit 1; }
+    kill "$serve_pid"
+    wait "$serve_pid"
+    [[ ! -e "$smoke_dir/daemon.sock" ]] || { echo "socket not removed on drain"; exit 1; }
+    ./target/release/gpu-aco-cli schedule "$smoke_dir/region2.txt" --scheduler amd \
+        --cache "$smoke_dir/sched.cache" --cache-stats 2>&1 > /dev/null \
+        | grep -q "cache: 1 hits" \
+        || { echo "persisted cache must hit after daemon drain"; exit 1; }
+
     echo "==> gpu-aco-cli analyze deny-gate"
     # The static-analysis gate: every smoke region must analyze clean of
     # deny-level findings, and the JSON report must match the

@@ -83,6 +83,15 @@ const USAGE: &str = "usage:
                      [--seed N] [--blocks N] [--threads N] [--unit-aprp] [--pedantic]
   gpu-aco-cli analyze <region.txt>... [--json] [--pedantic]
                       [--baseline <file>] [--write-baseline <file>]
+  gpu-aco-cli serve [--socket <path>] [--cache <cache.txt>]
+                    [--workers N] [--queue N]
+  gpu-aco-cli request --socket <path> schedule <region.txt>
+                      [--scheduler amd|cp|seq|par] [--seed N] [--blocks N]
+                      [--unit-aprp] [--deadline-ms N]
+  gpu-aco-cli request --socket <path> suite [--seed N] [--scale F]
+                      [--scheduler amd|cp|seq|par|batched] [--blocks N]
+                      [--gate N] [--unit-aprp] [--deadline-ms N]
+  gpu-aco-cli request --socket <path> stats|flush
 
   --json        emit the sched-analyze-findings/v1 JSON report on stdout
   --pedantic    include pedantic-level findings (S001) in the report
@@ -95,7 +104,17 @@ const USAGE: &str = "usage:
                 persisted at F across invocations (schedulers amd|cp|seq|par);
                 hits skip the ACO search and are re-certified before adoption
   --no-cache    same pipeline path with the cache disabled (identical output)
-  --cache-stats report hit/miss/insert/bypass counters on stderr";
+  --cache-stats report hit/miss/insert/bypass counters on stderr
+
+  serve         run the scheduling daemon: requests on stdin (default) or a
+                Unix socket (--socket), one warm schedule cache shared by
+                every client, preloaded from --cache and persisted back on
+                shutdown/flush; --workers compile threads (default: all
+                cores), --queue admission capacity (default 256)
+  request       client for a running daemon: sends one request over the
+                socket and prints the response payload (byte-identical to
+                the one-shot `schedule --cache` output for the same input);
+                exits nonzero on err/overloaded/expired responses";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -104,6 +123,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("inspect") => inspect(&args[1..]),
         Some("verify") => verify(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("request") => request(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("missing command".into()),
     }
@@ -301,9 +322,7 @@ fn schedule(args: &[String]) -> Result<(), String> {
 /// to) `FILE`; `--no-cache` runs the identical pipeline path without it,
 /// so the printed schedule is bitwise comparable between the two.
 fn schedule_cached(args: &[String]) -> Result<(), String> {
-    use gpu_aco::compile::{
-        compile_region, FinalChoice, PipelineConfig, ScheduleCache, SchedulerKind,
-    };
+    use gpu_aco::compile::{compile_region, PipelineConfig, ScheduleCache, SchedulerKind};
     use std::path::Path;
 
     let paths = positional_args(
@@ -356,28 +375,10 @@ fn schedule_cached(args: &[String]) -> Result<(), String> {
         Some(c) => c.compile_solo(&ddg, &occ, &cfg),
         None => compile_region(&ddg, &occ, &cfg),
     };
-    let (sched, prp) = match comp.choice {
-        FinalChoice::Aco => {
-            let r = comp.aco.as_ref().expect("choice Aco implies an ACO result");
-            (&r.schedule, r.prp)
-        }
-        FinalChoice::Heuristic => (&comp.heuristic.schedule, comp.heuristic.prp),
-    };
-    sched
-        .validate(&ddg)
-        .map_err(|e| format!("internal error: invalid schedule: {e}"))?;
-    println!(
-        "pipeline {kind:?}: {} instructions in {} cycles ({} stalls), VGPR PRP {}, \
-         SGPR PRP {}, occupancy {} (kept {:?})",
-        ddg.len(),
-        sched.length(),
-        sched.stalls(),
-        prp[0],
-        prp[1],
-        occ.occupancy(prp),
-        comp.choice,
-    );
-    print_schedule(&ddg, sched);
+    // The daemon (`serve`) renders through the same function, which is
+    // what keeps its responses byte-identical to this command's output.
+    let report = gpu_aco::serve::render::schedule_report(&ddg, &occ, kind, &comp)?;
+    print!("{report}");
     if args.iter().any(|a| a == "--cache-stats") {
         let s = cache.as_ref().map(ScheduleCache::stats).unwrap_or_default();
         eprintln!(
@@ -737,4 +738,125 @@ fn inspect(args: &[String]) -> Result<(), String> {
         amd.length, amd.prp[0], amd.occupancy
     );
     Ok(())
+}
+
+/// `serve`: run the scheduling daemon. Stdio transport by default (EOF
+/// drains and persists); `--socket PATH` serves concurrent Unix-socket
+/// clients until SIGTERM/SIGINT, then drains and persists.
+fn serve(args: &[String]) -> Result<(), String> {
+    use gpu_aco::serve::ServeConfig;
+
+    let workers = match flag_value(args, "--workers") {
+        Some(s) => s
+            .parse::<usize>()
+            .map(|n| n.max(1))
+            .map_err(|_| "--workers must be an integer")?,
+        None => std::thread::available_parallelism().map_or(2, |n| n.get()),
+    };
+    let queue_capacity = match flag_value(args, "--queue") {
+        Some(s) => s
+            .parse::<usize>()
+            .map_err(|_| "--queue must be an integer")?,
+        None => 256,
+    };
+    let config = ServeConfig {
+        workers,
+        queue_capacity,
+        cache_path: flag_value(args, "--cache").map(std::path::PathBuf::from),
+    };
+    match flag_value(args, "--socket") {
+        Some(path) => gpu_aco::serve::serve_unix(std::path::Path::new(&path), config)
+            .map_err(|e| format!("serve --socket {path}: {e}")),
+        None => gpu_aco::serve::serve_stdio(config).map_err(|e| format!("serve: {e}")),
+    }
+}
+
+/// `request`: one-shot client for a running daemon. Prints the response
+/// payload on stdout; `err`, `overloaded` and `expired` responses exit
+/// nonzero with the typed condition on stderr.
+fn request(args: &[String]) -> Result<(), String> {
+    use gpu_aco::serve::proto::{read_response, Response};
+    use std::io::{BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let socket = flag_value(args, "--socket").ok_or("request needs --socket PATH")?;
+    let positional = positional_args(
+        args,
+        &[
+            "--socket",
+            "--scheduler",
+            "--seed",
+            "--blocks",
+            "--scale",
+            "--gate",
+            "--deadline-ms",
+        ],
+    );
+    let command = positional
+        .first()
+        .ok_or("request needs a command: schedule|suite|stats|flush")?;
+
+    // Assemble the request line from the flags the one-shot commands use.
+    let mut opts = String::new();
+    for flag in ["--scheduler", "--seed", "--blocks", "--scale", "--gate"] {
+        if let Some(v) = flag_value(args, flag) {
+            opts.push_str(&format!(" {}={v}", &flag[2..]));
+        }
+    }
+    if args.iter().any(|a| a == "--unit-aprp") {
+        opts.push_str(" unit-aprp");
+    }
+    if let Some(v) = flag_value(args, "--deadline-ms") {
+        opts.push_str(&format!(" deadline-ms={v}"));
+    }
+    let wire = match command.as_str() {
+        "stats" => "req cli stats\n".to_string(),
+        "flush" => "req cli flush\n".to_string(),
+        "suite" => format!("req cli suite{opts}\n"),
+        "schedule" => {
+            let path = positional
+                .get(1)
+                .ok_or("request schedule needs a region file")?;
+            let text = std::fs::read_to_string(path.as_str())
+                .map_err(|e| format!("reading {path}: {e}"))?;
+            let text = if text.ends_with('\n') {
+                text
+            } else {
+                text + "\n"
+            };
+            format!(
+                "req cli schedule{opts} ddg {}\n{text}",
+                text.lines().count()
+            )
+        }
+        other => return Err(format!("unknown request command `{other}`")),
+    };
+
+    let mut stream =
+        UnixStream::connect(&socket).map_err(|e| format!("connecting {socket}: {e}"))?;
+    stream
+        .write_all(wire.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("sending request: {e}"))?;
+    let clone = stream.try_clone().map_err(|e| format!("socket: {e}"))?;
+    let mut reader = BufReader::new(clone);
+    let (_, resp) = read_response(&mut reader)
+        .map_err(|e| format!("reading response: {e}"))?
+        .ok_or("connection closed before a response arrived")?;
+    match resp {
+        Response::Ok { payload } => {
+            print!("{payload}");
+            Ok(())
+        }
+        Response::Err { message } => Err(format!("server error: {message}")),
+        Response::Overloaded { queued, capacity } => Err(format!(
+            "server overloaded ({queued} queued, capacity {capacity}); retry later"
+        )),
+        Response::Expired {
+            waited_ms,
+            deadline_ms,
+        } => Err(format!(
+            "request expired in queue ({waited_ms} ms waited, {deadline_ms} ms deadline)"
+        )),
+    }
 }

@@ -19,6 +19,8 @@
 //!   and determinism checks ([`sched_verify`])
 //! * [`analyze`] — exact static dataflow analysis with S-code diagnostics
 //!   and baseline suppression ([`sched_analyze`])
+//! * [`serve`] — the scheduling-as-a-service daemon: line-delimited
+//!   protocol, admission control, one warm shared cache ([`sched_serve`])
 //!
 //! # Quickstart
 //!
@@ -43,5 +45,6 @@ pub use pipeline as compile;
 pub use reg_pressure as pressure;
 pub use sched_analyze as analyze;
 pub use sched_ir as ir;
+pub use sched_serve as serve;
 pub use sched_verify as verify;
 pub use workloads as bench_workloads;

@@ -1,0 +1,324 @@
+//! End-to-end tests of the scheduling daemon (`gpu-aco-cli serve`) and its
+//! client (`gpu-aco-cli request`): byte identity with the one-shot CLI,
+//! concurrent Unix-socket clients, typed overload/expiry rejections, and
+//! SIGTERM drain with durable cache persistence.
+
+#![cfg(unix)]
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn cli(args: &[&str], dir: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gpu-aco-cli"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("running gpu-aco-cli")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gpu-aco-serve-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_region(dir: &Path, name: &str, pattern: &str, size: &str, seed: &str) -> String {
+    let out = cli(&["generate", pattern, size, "--seed", seed], dir);
+    assert!(out.status.success());
+    let path = dir.join(name);
+    std::fs::write(&path, &out.stdout).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+/// Boots `serve --socket` and waits for the socket to exist.
+fn start_daemon(dir: &Path, socket: &Path, extra: &[&str]) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_gpu-aco-cli"));
+    cmd.arg("serve")
+        .arg("--socket")
+        .arg(socket)
+        .args(extra)
+        .current_dir(dir)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    let child = cmd.spawn().expect("spawning daemon");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound {socket:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child
+}
+
+fn stop_daemon(mut child: Child) {
+    // SIGTERM → graceful drain; the daemon must exit on its own.
+    let term = Command::new("kill")
+        .arg(child.id().to_string())
+        .status()
+        .expect("sending SIGTERM");
+    assert!(term.success());
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match child.try_wait().expect("waiting for daemon") {
+            Some(status) => {
+                assert!(status.success(), "daemon exited with {status}");
+                break;
+            }
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("daemon did not drain within the deadline");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+#[test]
+fn stdio_session_is_byte_identical_to_one_shot_cli() {
+    let dir = tmp_dir("stdio");
+    let region = write_region(&dir, "r.txt", "mixed", "60", "7");
+    let one_shot = cli(
+        &[
+            "schedule",
+            &region,
+            "--no-cache",
+            "--scheduler",
+            "seq",
+            "--seed",
+            "2",
+        ],
+        &dir,
+    );
+    assert!(one_shot.status.success());
+
+    let text = std::fs::read_to_string(&region).unwrap();
+    let request = format!(
+        "req q1 schedule scheduler=seq seed=2 ddg {}\n{text}",
+        text.lines().count()
+    );
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_gpu-aco-cli"))
+        .arg("serve")
+        .current_dir(&dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning stdio daemon");
+    daemon
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(request.as_bytes())
+        .unwrap();
+    // Dropping stdin closes it: EOF drains the daemon.
+    let out = daemon.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let (header, payload) = stdout.split_once('\n').expect("framed response");
+    assert!(header.starts_with("resp q1 ok "), "header: {header}");
+    assert_eq!(
+        payload.as_bytes(),
+        &one_shot.stdout[..],
+        "daemon payload differs from one-shot CLI output"
+    );
+}
+
+#[test]
+fn concurrent_socket_clients_match_one_shot_and_cache_survives_sigterm() {
+    let dir = tmp_dir("socket");
+    let socket = dir.join("daemon.sock");
+    let cache = dir.join("cache.txt");
+
+    // Pre-warm a cache file through the one-shot CLI so boot exercises the
+    // preload path.
+    let warm_region = write_region(&dir, "warm.txt", "reduction", "40", "1");
+    let warm = cli(
+        &["schedule", &warm_region, "--cache", cache.to_str().unwrap()],
+        &dir,
+    );
+    assert!(warm.status.success());
+    assert!(cache.exists());
+
+    let daemon = start_daemon(&dir, &socket, &["--cache", cache.to_str().unwrap()]);
+
+    // Distinct regions served concurrently, each checked byte-for-byte
+    // against the one-shot CLI (cache off: certified hits make cache
+    // on/off identical).
+    let cases = [
+        ("a.txt", "mixed", "50", "3", "par"),
+        ("b.txt", "scan", "70", "4", "amd"),
+        ("c.txt", "transform", "45", "5", "seq"),
+    ];
+    let sock = socket.to_string_lossy().into_owned();
+    let mut expected = Vec::new();
+    let mut paths = Vec::new();
+    for (name, pattern, size, seed, sched) in &cases {
+        let path = write_region(&dir, name, pattern, size, seed);
+        let one = cli(
+            &["schedule", &path, "--no-cache", "--scheduler", sched],
+            &dir,
+        );
+        assert!(one.status.success());
+        expected.push(one.stdout);
+        paths.push(path);
+    }
+    let handles: Vec<_> = cases
+        .iter()
+        .zip(&paths)
+        .map(|((_, _, _, _, sched), path)| {
+            let (dir, sock, path, sched) =
+                (dir.clone(), sock.clone(), path.clone(), sched.to_string());
+            std::thread::spawn(move || {
+                cli(
+                    &[
+                        "request",
+                        "--socket",
+                        &sock,
+                        "schedule",
+                        &path,
+                        "--scheduler",
+                        &sched,
+                    ],
+                    &dir,
+                )
+            })
+        })
+        .collect();
+    for (h, want) in handles.into_iter().zip(&expected) {
+        let out = h.join().unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            &out.stdout, want,
+            "concurrent response differs from one-shot CLI output"
+        );
+    }
+
+    // Stats over the same socket: the preloaded + newly inserted entries
+    // are all visible through one shared cache.
+    let stats = cli(&["request", "--socket", &sock, "stats"], &dir);
+    assert!(stats.status.success());
+    let stats_text = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(stats_text.contains("requests:"), "{stats_text}");
+    assert!(stats_text.contains("cache:"), "{stats_text}");
+    assert!(stats_text.contains("regions compiled"), "{stats_text}");
+
+    // SIGTERM: graceful drain, atomic persist, socket removed.
+    stop_daemon(daemon);
+    assert!(!socket.exists(), "socket file must be removed on shutdown");
+    assert!(cache.exists());
+
+    // The persisted cache must reload cleanly and still hold the warm
+    // entry: a one-shot compile of the warm region over it hits.
+    let replay = cli(
+        &[
+            "schedule",
+            &warm_region,
+            "--cache",
+            cache.to_str().unwrap(),
+            "--cache-stats",
+        ],
+        &dir,
+    );
+    assert!(replay.status.success());
+    assert_eq!(
+        replay.stdout, warm.stdout,
+        "replay over persisted cache drifted"
+    );
+    let replay_err = String::from_utf8_lossy(&replay.stderr);
+    assert!(
+        replay_err.contains("cache: 1 hits"),
+        "expected a cache hit on the persisted file: {replay_err}"
+    );
+}
+
+#[test]
+fn overload_and_deadline_rejections_are_typed() {
+    let dir = tmp_dir("overload");
+    let socket = dir.join("daemon.sock");
+    let region = write_region(&dir, "r.txt", "vector", "50", "9");
+    // Zero queue capacity: every schedule/suite submission bounces.
+    let daemon = start_daemon(&dir, &socket, &["--queue", "0"]);
+    let sock = socket.to_string_lossy().into_owned();
+
+    let out = cli(&["request", "--socket", &sock, "schedule", &region], &dir);
+    assert!(
+        !out.status.success(),
+        "overloaded request must exit nonzero"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("overloaded"), "stderr: {err}");
+
+    // Inline requests still work on an overloaded daemon.
+    let stats = cli(&["request", "--socket", &sock, "stats"], &dir);
+    assert!(stats.status.success());
+    assert!(String::from_utf8_lossy(&stats.stdout).contains("1 overloaded"));
+    stop_daemon(daemon);
+
+    // A zero deadline on a working daemon expires in the queue.
+    let socket2 = dir.join("daemon2.sock");
+    let daemon2 = start_daemon(&dir, &socket2, &[]);
+    let sock2 = socket2.to_string_lossy().into_owned();
+    let out = cli(
+        &[
+            "request",
+            "--socket",
+            &sock2,
+            "schedule",
+            &region,
+            "--deadline-ms",
+            "0",
+        ],
+        &dir,
+    );
+    assert!(!out.status.success(), "expired request must exit nonzero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("expired"), "stderr: {err}");
+    stop_daemon(daemon2);
+}
+
+#[test]
+fn suite_request_reports_the_golden_configuration_fingerprint() {
+    let dir = tmp_dir("suite");
+    let socket = dir.join("daemon.sock");
+    let daemon = start_daemon(&dir, &socket, &[]);
+    let sock = socket.to_string_lossy().into_owned();
+    let out = cli(
+        &["request", "--socket", &sock, "suite", "--seed", "5"],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    // Same run in-process through the pipeline: fingerprints must agree.
+    let suite = gpu_aco::bench_workloads::Suite::generate(
+        &gpu_aco::bench_workloads::SuiteConfig::scaled(5, 0.008),
+    );
+    let occ = gpu_aco::machine::OccupancyModel::vega_like();
+    let mut cfg =
+        gpu_aco::compile::PipelineConfig::paper(gpu_aco::compile::SchedulerKind::ParallelAco, 0);
+    cfg.aco.blocks = 4;
+    cfg.aco.pass2_gate_cycles = 1;
+    let run = gpu_aco::compile::compile_suite(&suite, &occ, &cfg);
+    let want = format!(
+        "fingerprint {:#018x}",
+        gpu_aco::verify::suite_fingerprint(&run)
+    );
+    assert!(
+        text.lines().any(|l| l == want),
+        "suite response {text:?} lacks {want:?}"
+    );
+    stop_daemon(daemon);
+}
