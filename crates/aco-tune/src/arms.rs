@@ -1,0 +1,166 @@
+//! The bandit's arms: bounded deltas on [`AcoConfig`].
+//!
+//! Every arm leaves the config's *identity* knobs (seed, machine tuning,
+//! gates, caps) untouched and moves only search-effort knobs, so a tuned
+//! compilation stays a pure function of `(DDG, tuned config, machine
+//! model)` and keys into the schedule cache exactly like a hand-picked
+//! config would. Arm 0 is always the unmodified configuration: the bandit
+//! can never be worse than "no tuning" once a class is explored.
+
+use aco::AcoConfig;
+use sched_ir::Fnv64;
+
+/// One candidate configuration delta.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arm {
+    /// Stable name (persisted indirectly via the arm-table fingerprint).
+    pub name: &'static str,
+    /// Colony size as a percentage of the configured one (ants and
+    /// blocks), `100` = unchanged.
+    pub ant_pct: u32,
+    /// Evaporation override (`AcoConfig::decay`).
+    pub decay: Option<f64>,
+    /// Heuristic-weight override (`AcoConfig::beta`).
+    pub beta: Option<f64>,
+    /// Per-pass iteration-cap override
+    /// (`AcoConfig::termination.max_iterations`, only ever lowered).
+    pub max_iterations: Option<u32>,
+}
+
+/// Index of the identity arm in [`ARMS`].
+pub const FIXED_ARM: usize = 0;
+
+/// The arm table. Order is part of the persisted-state contract — see
+/// [`arm_table_fingerprint`].
+pub const ARMS: [Arm; 6] = [
+    Arm {
+        name: "fixed",
+        ant_pct: 100,
+        decay: None,
+        beta: None,
+        max_iterations: None,
+    },
+    Arm {
+        name: "lean-colony",
+        ant_pct: 50,
+        decay: None,
+        beta: None,
+        max_iterations: None,
+    },
+    Arm {
+        name: "heavy-evaporation",
+        ant_pct: 100,
+        decay: Some(0.6),
+        beta: None,
+        max_iterations: None,
+    },
+    Arm {
+        name: "sticky-trails",
+        ant_pct: 100,
+        decay: Some(0.9),
+        beta: None,
+        max_iterations: None,
+    },
+    Arm {
+        name: "greedy-eta",
+        ant_pct: 100,
+        decay: None,
+        beta: Some(3.0),
+        max_iterations: None,
+    },
+    Arm {
+        name: "short-leash",
+        ant_pct: 100,
+        decay: None,
+        beta: None,
+        max_iterations: Some(16),
+    },
+];
+
+impl Arm {
+    /// Applies this arm's deltas to a base configuration.
+    pub fn apply(&self, mut cfg: AcoConfig) -> AcoConfig {
+        if self.ant_pct != 100 {
+            cfg.sequential_ants = (cfg.sequential_ants * self.ant_pct / 100).max(1);
+            cfg.blocks = (cfg.blocks * self.ant_pct / 100).max(1);
+        }
+        if let Some(d) = self.decay {
+            cfg.decay = d;
+        }
+        if let Some(b) = self.beta {
+            cfg.beta = b;
+        }
+        if let Some(m) = self.max_iterations {
+            cfg.termination.max_iterations = cfg.termination.max_iterations.min(m);
+        }
+        cfg
+    }
+}
+
+/// Canonical fingerprint of the arm table. Persisted tuning statistics are
+/// only meaningful against the arm table that produced them, so the
+/// `schedtune` format stores this value and [`crate::TuneStore::load_from`]
+/// rejects state recorded under a different table.
+pub fn arm_table_fingerprint() -> u64 {
+    let mut h = Fnv64::new();
+    h.word(ARMS.len() as u64);
+    for arm in &ARMS {
+        h.word(arm.name.len() as u64);
+        for b in arm.name.bytes() {
+            h.word(b as u64);
+        }
+        h.word(arm.ant_pct as u64);
+        h.word(arm.decay.map_or(u64::MAX, f64::to_bits));
+        h.word(arm.beta.map_or(u64::MAX, f64::to_bits));
+        h.word(arm.max_iterations.map_or(u64::MAX, |m| m as u64));
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_arm_is_identity() {
+        let cfg = AcoConfig::paper(7);
+        let tuned = ARMS[FIXED_ARM].apply(cfg);
+        assert_eq!(cfg, tuned);
+    }
+
+    #[test]
+    fn arms_only_move_search_effort_knobs() {
+        let cfg = AcoConfig::paper(3);
+        for arm in &ARMS {
+            let tuned = arm.apply(cfg);
+            assert_eq!(tuned.seed, cfg.seed, "{}: seed moved", arm.name);
+            assert_eq!(tuned.q0, cfg.q0, "{}: q0 moved", arm.name);
+            assert_eq!(tuned.heuristic, cfg.heuristic);
+            assert_eq!(tuned.tuning, cfg.tuning, "{}: GPU tuning moved", arm.name);
+            assert_eq!(tuned.pass2_gate_cycles, cfg.pass2_gate_cycles);
+            assert_eq!(tuned.occupancy_cap, cfg.occupancy_cap);
+            assert!(tuned.sequential_ants >= 1);
+            assert!(tuned.blocks >= 1);
+            assert!(tuned.termination.max_iterations <= cfg.termination.max_iterations);
+        }
+    }
+
+    #[test]
+    fn lean_colony_halves_and_short_leash_caps() {
+        let cfg = AcoConfig::paper(0);
+        let lean = ARMS.iter().find(|a| a.name == "lean-colony").unwrap();
+        let tuned = lean.apply(cfg);
+        assert_eq!(tuned.sequential_ants, cfg.sequential_ants / 2);
+        assert_eq!(tuned.blocks, cfg.blocks / 2);
+        let leash = ARMS.iter().find(|a| a.name == "short-leash").unwrap();
+        assert_eq!(leash.apply(cfg).termination.max_iterations, 16);
+    }
+
+    #[test]
+    fn arm_names_are_unique_and_fingerprint_is_stable() {
+        let names: std::collections::HashSet<&str> = ARMS.iter().map(|a| a.name).collect();
+        assert_eq!(names.len(), ARMS.len());
+        assert_eq!(arm_table_fingerprint(), arm_table_fingerprint());
+        assert_ne!(arm_table_fingerprint(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Region classification: the bandit's context.
+//!
+//! Classes must be cheap (they are computed per region job), stable (a
+//! region's class never depends on scheduling results), and coarse enough
+//! that duplicate-heavy suites revisit them — three 3-way bands over
+//! features the DDG already exposes.
+
+use sched_ir::Ddg;
+
+/// Bands per feature axis.
+const BANDS: u8 = 3;
+
+/// Total number of region classes.
+pub const CLASS_COUNT: usize = (BANDS as usize).pow(3);
+
+/// A region's tuning class: size band × edge-density band × pressure band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionClass {
+    /// Instruction-count band: 0 = small (&lt;50), 1 = medium (&lt;150),
+    /// 2 = large. The cuts mirror the paper's Table-3 size bands.
+    pub size: u8,
+    /// Average out-degree band (edges per instruction, ×10): 0 = sparse
+    /// (&lt;1.0), 1 = moderate (&lt;2.5), 2 = dense.
+    pub density: u8,
+    /// VGPR pressure-lower-bound band: 0 = low (&lt;8), 1 = mid (&lt;24),
+    /// 2 = high.
+    pub pressure: u8,
+}
+
+impl RegionClass {
+    /// Classifies a region.
+    pub fn of(ddg: &Ddg) -> RegionClass {
+        let n = ddg.len().max(1);
+        let size = match n {
+            0..=49 => 0,
+            50..=149 => 1,
+            _ => 2,
+        };
+        let deg_x10 = ddg.edge_count() * 10 / n;
+        let density = match deg_x10 {
+            0..=9 => 0,
+            10..=24 => 1,
+            _ => 2,
+        };
+        let vgpr_lb = ddg.rp_lower_bound()[0];
+        let pressure = match vgpr_lb {
+            0..=7 => 0,
+            8..=23 => 1,
+            _ => 2,
+        };
+        RegionClass {
+            size,
+            density,
+            pressure,
+        }
+    }
+
+    /// Dense index in `0..CLASS_COUNT`.
+    pub fn index(&self) -> usize {
+        (self.size as usize * BANDS as usize + self.density as usize) * BANDS as usize
+            + self.pressure as usize
+    }
+
+    /// Inverse of [`RegionClass::index`]; `None` out of range.
+    pub fn from_index(i: usize) -> Option<RegionClass> {
+        if i >= CLASS_COUNT {
+            return None;
+        }
+        let b = BANDS as usize;
+        Some(RegionClass {
+            size: (i / (b * b)) as u8,
+            density: (i / b % b) as u8,
+            pressure: (i % b) as u8,
+        })
+    }
+
+    /// Compact diagnostic label, e.g. `s1-d0-p2`.
+    pub fn label(&self) -> String {
+        format!("s{}-d{}-p{}", self.size, self.density, self.pressure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrips_all_classes() {
+        for i in 0..CLASS_COUNT {
+            let c = RegionClass::from_index(i).unwrap();
+            assert_eq!(c.index(), i);
+        }
+        assert!(RegionClass::from_index(CLASS_COUNT).is_none());
+    }
+
+    #[test]
+    fn classification_is_stable_and_in_bounds() {
+        for seed in 0..8u64 {
+            let ddg = workloads::patterns::sized(30 + 40 * (seed as usize % 5), seed);
+            let a = RegionClass::of(&ddg);
+            let b = RegionClass::of(&ddg);
+            assert_eq!(a, b);
+            assert!(a.index() < CLASS_COUNT);
+            assert!(a.size < 3 && a.density < 3 && a.pressure < 3);
+        }
+    }
+
+    #[test]
+    fn size_bands_split_where_documented() {
+        let small = workloads::patterns::sized(30, 1);
+        let medium = workloads::patterns::sized(100, 1);
+        let large = workloads::patterns::sized(200, 1);
+        assert_eq!(RegionClass::of(&small).size, 0);
+        assert_eq!(RegionClass::of(&medium).size, 1);
+        assert_eq!(RegionClass::of(&large).size, 2);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<String> = (0..CLASS_COUNT)
+            .map(|i| RegionClass::from_index(i).unwrap().label())
+            .collect();
+        assert_eq!(labels.len(), CLASS_COUNT);
+    }
+}

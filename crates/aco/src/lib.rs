@@ -44,6 +44,7 @@ pub mod parallel;
 pub mod pheromone;
 pub mod result;
 pub mod sequential;
+pub mod warm;
 
 pub use config::{AcoConfig, GpuTuning, Termination};
 pub use construct::{AntContext, Pass1Ant, Pass1Result, Pass2Ant, Pass2Result, Pass2Step};
@@ -52,3 +53,4 @@ pub use parallel::{batch_block_split, BatchOutcome, GpuStats, ParallelOutcome, P
 pub use pheromone::PheromoneTable;
 pub use result::{AcoResult, PassStats};
 pub use sequential::{pass2_target, SequentialScheduler};
+pub use warm::{WarmStart, WARM_NO_IMPROVE_BUDGET};

@@ -31,6 +31,7 @@ use crate::construct::{AntContext, Pass1Ant, Pass2Ant, Pass2Step};
 use crate::pheromone::PheromoneTable;
 use crate::result::{AcoResult, PassStats};
 use crate::sequential::{ant_seed, pass2_target};
+use crate::warm::{WarmStart, WARM_NO_IMPROVE_BUDGET};
 use gpu_sim::{GpuSpec, LaunchProfile, MemLayout, WavefrontCost};
 use list_sched::{Heuristic, ListScheduler, RegionAnalysis};
 use machine_model::{OccupancyLut, OccupancyModel};
@@ -119,8 +120,30 @@ impl ParallelScheduler {
 
     /// Schedules a region on the simulated GPU.
     pub fn schedule(&mut self, ddg: &Ddg, occ: &OccupancyModel) -> ParallelOutcome {
+        self.schedule_with(ddg, occ, None)
+    }
+
+    /// Schedules a region, optionally seeding both launches' pheromone
+    /// tables from a [`WarmStart`] hint (see [`crate::warm`]).
+    ///
+    /// With `warm = None` this is exactly [`ParallelScheduler::schedule`] —
+    /// bit for bit. An applicable hint saturates the trail along the hinted
+    /// order before each launch and cuts the no-improvement budget to
+    /// [`WARM_NO_IMPROVE_BUDGET`]; a size-mismatched hint is ignored.
+    pub fn schedule_with(
+        &mut self,
+        ddg: &Ddg,
+        occ: &OccupancyModel,
+        warm: Option<&WarmStart>,
+    ) -> ParallelOutcome {
+        let warm = warm.filter(|w| w.applies_to(ddg));
         let analysis = RegionAnalysis::new(ddg);
         let universe = RegUniverse::new(ddg);
+        // Pressure cost of the hinted order against *this* region: the hint
+        // is injected as a candidate incumbent in both passes, so a warm
+        // result is never lexicographically worse than its seed.
+        let warm_cost =
+            warm.map(|w| occ.rp_cost(reg_pressure::prp_of_order_in(&universe, w.order())));
         let lut = OccupancyLut::new(occ);
         let ctx = AntContext {
             ddg,
@@ -152,6 +175,13 @@ impl ParallelScheduler {
         let rp_lb = occ.rp_cost_lb(ddg.rp_lower_bound());
         let mut best_order = initial.order.clone();
         let mut best_cost = occ.rp_cost(initial.prp);
+        if let (Some(w), Some(wc)) = (warm, warm_cost) {
+            if wc < best_cost {
+                best_cost = wc;
+                best_order.clear();
+                best_order.extend_from_slice(w.order());
+            }
+        }
         let mut pass1 = PassStats::default();
         if best_cost > rp_lb {
             let launch = self.run_pass1(
@@ -161,6 +191,7 @@ impl ParallelScheduler {
                 &mut best_cost,
                 rp_lb,
                 &mut pass1,
+                warm,
             );
             gpu.pass1_profile = launch.profile;
             gpu.divergent_steps += launch.divergent_steps;
@@ -176,6 +207,20 @@ impl ParallelScheduler {
         let mut best_length = best_schedule.length();
         let mut best_final_order = best_order.clone();
         let target_cost = pass2_target(&self.cfg, occ, best_cost);
+        // Hint-as-candidate, length side: if the hinted order is feasible
+        // under the pass-2 cost target and packs shorter than the pass-1
+        // winner, start pass 2 from it.
+        if let (Some(w), Some(wc)) = (warm, warm_cost) {
+            if wc <= target_cost {
+                let sched = Schedule::from_order(ddg, w.order());
+                if sched.length() < best_length {
+                    best_length = sched.length();
+                    best_final_order.clear();
+                    best_final_order.extend_from_slice(w.order());
+                    best_schedule = sched;
+                }
+            }
+        }
         let len_lb = ddg.schedule_length_lb();
         let mut pass2 = PassStats::default();
         let gate = self.cfg.pass2_gate_cycles.max(1) as Cycle;
@@ -189,6 +234,7 @@ impl ParallelScheduler {
                 &mut best_length,
                 len_lb,
                 &mut pass2,
+                warm,
             );
             gpu.pass2_profile = launch.profile;
             gpu.divergent_steps += launch.divergent_steps;
@@ -299,6 +345,7 @@ impl ParallelScheduler {
         wf.mem_accesses(chunk, self.cfg.threads_per_block, self.cfg.tuning.layout);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_pass1(
         &self,
         ctx: &AntContext<'_>,
@@ -307,10 +354,17 @@ impl ParallelScheduler {
         best_cost: &mut u64,
         rp_lb: u64,
         stats: &mut PassStats,
+        warm: Option<&WarmStart>,
     ) -> LaunchResult {
         let mut profile = self.setup_profile(ctx);
-        pheromone.reset();
-        let budget = self.cfg.termination.budget(ctx.ddg.len());
+        match warm {
+            Some(w) => pheromone.seed_order(w.order(), self.cfg.tau_max),
+            None => pheromone.reset(),
+        }
+        let budget = match warm {
+            Some(_) => WARM_NO_IMPROVE_BUDGET,
+            None => self.cfg.termination.budget(ctx.ddg.len()),
+        };
         let mut no_improve = 0u32;
         let mut kernel_cycles = 0u64;
         let mut divergent_steps = 0u64;
@@ -444,9 +498,13 @@ impl ParallelScheduler {
         best_length: &mut Cycle,
         len_lb: Cycle,
         stats: &mut PassStats,
+        warm: Option<&WarmStart>,
     ) -> LaunchResult {
         let mut profile = self.setup_profile(ctx);
-        pheromone.reset();
+        match warm {
+            Some(w) => pheromone.seed_order(w.order(), self.cfg.tau_max),
+            None => pheromone.reset(),
+        }
         // The best schedule is kept as a raw cycle vector for the whole
         // launch and materialized into a `Schedule` exactly once at the end
         // (`from_cycles` moves the buffer), so improvements never allocate.
@@ -471,7 +529,10 @@ impl ParallelScheduler {
                 best_cycles.extend_from_slice(greedy.cycles());
             }
         }
-        let budget = self.cfg.termination.budget(ctx.ddg.len());
+        let budget = match warm {
+            Some(_) => WARM_NO_IMPROVE_BUDGET,
+            None => self.cfg.termination.budget(ctx.ddg.len()),
+        };
         let mut no_improve = 0u32;
         let mut kernel_cycles = 0u64;
         let mut divergent_steps = 0u64;
@@ -731,6 +792,56 @@ mod tests {
                 "seed {seed}: pressure cost regressed"
             );
         }
+    }
+
+    #[test]
+    fn schedule_with_none_is_bitwise_schedule() {
+        let ddg = workloads::patterns::sized(60, 12);
+        let occ = OccupancyModel::vega_like();
+        let cold = ParallelScheduler::new(small_cfg(6)).schedule(&ddg, &occ);
+        let explicit = ParallelScheduler::new(small_cfg(6)).schedule_with(&ddg, &occ, None);
+        assert_eq!(cold.result.order, explicit.result.order);
+        assert_eq!(cold.result.schedule, explicit.result.schedule);
+        assert_eq!(cold.gpu, explicit.gpu);
+    }
+
+    #[test]
+    fn warm_start_never_degrades_and_saves_iterations() {
+        use crate::warm::WarmStart;
+        let occ = OccupancyModel::vega_like();
+        let mut saved_any = false;
+        for seed in 0..5u64 {
+            let ddg = workloads::patterns::sized(60 + 15 * (seed as usize % 3), 50 + seed);
+            let mut cfg = small_cfg(seed);
+            cfg.pass2_gate_cycles = 1;
+            let cold = ParallelScheduler::new(cfg).schedule(&ddg, &occ).result;
+            let hint = WarmStart::new(cold.order.clone()).unwrap();
+            let warm = ParallelScheduler::new(cfg)
+                .schedule_with(&ddg, &occ, Some(&hint))
+                .result;
+            warm.schedule.validate(&ddg).unwrap();
+            assert!(
+                occ.rp_cost(warm.prp) <= occ.rp_cost(cold.prp),
+                "seed {seed}: warm start degraded pressure cost"
+            );
+            if occ.rp_cost(warm.prp) == occ.rp_cost(cold.prp) {
+                assert!(
+                    warm.length <= cold.length,
+                    "seed {seed}: warm start degraded length at equal cost"
+                );
+            }
+            let cold_iters = cold.pass1.iterations + cold.pass2.iterations;
+            let warm_iters = warm.pass1.iterations + warm.pass2.iterations;
+            assert!(
+                warm_iters <= cold_iters,
+                "seed {seed}: warm start cost iterations ({warm_iters} vs {cold_iters})"
+            );
+            saved_any |= warm_iters < cold_iters;
+        }
+        assert!(
+            saved_any,
+            "warm starts must save iterations on at least one region"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::config::AcoConfig;
 use crate::construct::{AntContext, Pass1Ant, Pass2Ant, Pass2Step};
 use crate::pheromone::PheromoneTable;
 use crate::result::{AcoResult, PassStats};
+use crate::warm::{WarmStart, WARM_NO_IMPROVE_BUDGET};
 use gpu_sim::CpuSpec;
 use list_sched::{Heuristic, ListScheduler, RegionAnalysis};
 use machine_model::{OccupancyLut, OccupancyModel};
@@ -90,8 +91,31 @@ impl SequentialScheduler {
     /// Schedules a region, returning the best schedule found together with
     /// per-pass statistics and the modeled CPU time.
     pub fn schedule(&mut self, ddg: &Ddg, occ: &OccupancyModel) -> AcoResult {
+        self.schedule_with(ddg, occ, None)
+    }
+
+    /// Schedules a region, optionally seeding both passes' pheromone
+    /// tables from a [`WarmStart`] hint (see [`crate::warm`]).
+    ///
+    /// With `warm = None` this is exactly [`SequentialScheduler::schedule`]
+    /// — bit for bit. An applicable hint replaces the cold uniform table
+    /// with a trail saturated along the hinted order and cuts the
+    /// no-improvement budget to [`WARM_NO_IMPROVE_BUDGET`]; a hint whose
+    /// size does not match the region is ignored.
+    pub fn schedule_with(
+        &mut self,
+        ddg: &Ddg,
+        occ: &OccupancyModel,
+        warm: Option<&WarmStart>,
+    ) -> AcoResult {
+        let warm = warm.filter(|w| w.applies_to(ddg));
         let analysis = RegionAnalysis::new(ddg);
         let universe = RegUniverse::new(ddg);
+        // Pressure cost of the hinted order, evaluated against *this*
+        // region. The hint enters both passes as a candidate incumbent, so
+        // a warm result is never lexicographically worse than its seed.
+        let warm_cost =
+            warm.map(|w| occ.rp_cost(reg_pressure::prp_of_order_in(&universe, w.order())));
         let lut = OccupancyLut::new(occ);
         let ctx = AntContext {
             ddg,
@@ -115,11 +139,29 @@ impl SequentialScheduler {
         let rp_lb = occ.rp_cost_lb(ddg.rp_lower_bound());
         let mut best_order = initial.order.clone();
         let mut best_cost = occ.rp_cost(initial.prp);
-        let mut pheromone = PheromoneTable::new(ddg.len(), self.cfg.initial_pheromone);
+        if let (Some(w), Some(wc)) = (warm, warm_cost) {
+            if wc < best_cost {
+                best_cost = wc;
+                best_order.clear();
+                best_order.extend_from_slice(w.order());
+            }
+        }
+        let mut pheromone = match warm {
+            Some(w) => PheromoneTable::warm_started(
+                ddg.len(),
+                self.cfg.initial_pheromone,
+                w.order(),
+                self.cfg.tau_max,
+            ),
+            None => PheromoneTable::new(ddg.len(), self.cfg.initial_pheromone),
+        };
+        let budget = match warm {
+            Some(_) => WARM_NO_IMPROVE_BUDGET,
+            None => self.cfg.termination.budget(ddg.len()),
+        };
         let mut pass1 = PassStats::default();
         let ops_before_p1 = total_ops;
         if best_cost > rp_lb {
-            let budget = self.cfg.termination.budget(ddg.len());
             let mut no_improve = 0u32;
             let mut ant = Pass1Ant::new(&ctx, self.cfg.heuristic, 0);
             // Reusable winner buffer: losing ants are never materialized,
@@ -172,6 +214,20 @@ impl SequentialScheduler {
         let mut best_length = best_schedule.length();
         let mut best_final_order = best_order.clone();
         let target_cost = pass2_target(&self.cfg, occ, best_cost);
+        // Hint-as-candidate, length side: if the hinted order is feasible
+        // under the pass-2 cost target and packs shorter than the pass-1
+        // winner, start pass 2 from it.
+        if let (Some(w), Some(wc)) = (warm, warm_cost) {
+            if wc <= target_cost {
+                let sched = Schedule::from_order(ddg, w.order());
+                if sched.length() < best_length {
+                    best_length = sched.length();
+                    best_final_order.clear();
+                    best_final_order.extend_from_slice(w.order());
+                    best_schedule = sched;
+                }
+            }
+        }
 
         // ---- Pass 2: minimize length under the pass-1 cost constraint. ----
         let len_lb: Cycle = ddg.schedule_length_lb();
@@ -179,8 +235,10 @@ impl SequentialScheduler {
         let ops_before_p2 = total_ops;
         let gate = self.cfg.pass2_gate_cycles.max(1) as Cycle;
         if best_length >= len_lb + gate {
-            pheromone.reset();
-            let budget = self.cfg.termination.budget(ddg.len());
+            match warm {
+                Some(w) => pheromone.seed_order(w.order(), self.cfg.tau_max),
+                None => pheromone.reset(),
+            }
             let mut no_improve = 0u32;
             let mut rng = SmallRng::seed_from_u64(ant_seed(self.cfg.seed, 2, 0, 0));
             // One reusable ant for the whole pass (its ops accumulate
@@ -351,6 +409,73 @@ mod tests {
         let r = SequentialScheduler::new(AcoConfig::small(0)).schedule(&ddg, &occ);
         assert!(r.pass2.iterations <= 1);
         r.schedule.validate(&ddg).unwrap();
+    }
+
+    #[test]
+    fn schedule_with_none_is_bitwise_schedule() {
+        let ddg = workloads::patterns::sized(70, 21);
+        let occ = OccupancyModel::vega_like();
+        let cold = SequentialScheduler::new(AcoConfig::small(4)).schedule(&ddg, &occ);
+        let explicit =
+            SequentialScheduler::new(AcoConfig::small(4)).schedule_with(&ddg, &occ, None);
+        assert_eq!(cold.order, explicit.order);
+        assert_eq!(cold.schedule, explicit.schedule);
+        assert_eq!(cold.ops, explicit.ops);
+        assert_eq!(cold.pass1, explicit.pass1);
+        assert_eq!(cold.pass2, explicit.pass2);
+    }
+
+    #[test]
+    fn warm_start_never_degrades_and_saves_iterations() {
+        let occ = OccupancyModel::vega_like();
+        let mut saved_any = false;
+        for seed in 0..6u64 {
+            let ddg = workloads::patterns::sized(60 + 10 * (seed as usize % 3), seed);
+            let mut cfg = AcoConfig::small(seed);
+            cfg.pass2_gate_cycles = 1;
+            let cold = SequentialScheduler::new(cfg).schedule(&ddg, &occ);
+            let hint = WarmStart::new(cold.order.clone()).unwrap();
+            let warm = SequentialScheduler::new(cfg).schedule_with(&ddg, &occ, Some(&hint));
+            warm.schedule.validate(&ddg).unwrap();
+            // Quality: the warm search reproduces its seed in iteration 1
+            // and can only improve on it.
+            assert!(
+                occ.rp_cost(warm.prp) <= occ.rp_cost(cold.prp),
+                "seed {seed}: warm start degraded pressure cost"
+            );
+            if occ.rp_cost(warm.prp) == occ.rp_cost(cold.prp) {
+                assert!(
+                    warm.length <= cold.length,
+                    "seed {seed}: warm start degraded length at equal cost"
+                );
+            }
+            let cold_iters = cold.pass1.iterations + cold.pass2.iterations;
+            let warm_iters = warm.pass1.iterations + warm.pass2.iterations;
+            assert!(
+                warm_iters <= cold_iters,
+                "seed {seed}: warm start cost iterations ({warm_iters} vs {cold_iters})"
+            );
+            saved_any |= warm_iters < cold_iters;
+        }
+        assert!(
+            saved_any,
+            "warm starts must save iterations on at least one region"
+        );
+    }
+
+    #[test]
+    fn mismatched_warm_hint_is_ignored() {
+        let ddg = workloads::patterns::sized(50, 9);
+        let occ = OccupancyModel::vega_like();
+        let wrong_size = WarmStart::new((0..10u32).map(sched_ir::InstrId).collect()).unwrap();
+        let cold = SequentialScheduler::new(AcoConfig::small(2)).schedule(&ddg, &occ);
+        let hinted = SequentialScheduler::new(AcoConfig::small(2)).schedule_with(
+            &ddg,
+            &occ,
+            Some(&wrong_size),
+        );
+        assert_eq!(cold.order, hinted.order);
+        assert_eq!(cold.ops, hinted.ops);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! `tuning_bench` — search-effort benchmark of the self-tuning ACO store.
+//!
+//! Compiles one duplicate-heavy suite with the fixed paper configuration
+//! and through a pre-warmed tuning store (schedule cache off in both
+//! settings), and writes a JSON report (default `BENCH_tuning.json`) with
+//! total ACO iterations, total schedule length, tuner counters and wall
+//! clocks. Invoked by `scripts/bench.sh --tuning-out`.
+//!
+//! ```text
+//! tuning_bench [--smoke] [--out PATH] [--threads N] [--warmup N]
+//!              [--reps N] [--seed N] [--scale F] [--scheduler KIND]
+//! ```
+//!
+//! `--smoke` runs a tiny suite and then **gates**: the report must pass
+//! structural schema validation, the tuned run must reach the fixed
+//! configuration's total schedule length (or better) in strictly fewer
+//! total iterations, warm hints must actually fire, and the tuned wall
+//! clock must not lose to fixed by more than 25% (the tuned searches are
+//! shorter, but arm exploration rides along). Any violation exits
+//! non-zero, failing `scripts/check.sh`.
+
+use bench_harness::tuning_bench::{measure, validate_schema, TuningReport};
+use pipeline::SchedulerKind;
+
+struct Args {
+    smoke: bool,
+    out: String,
+    threads: Option<usize>,
+    warmup: usize,
+    reps: usize,
+    seed: u64,
+    scale: f64,
+    scheduler: SchedulerKind,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: "BENCH_tuning.json".to_string(),
+        threads: None,
+        warmup: 2,
+        reps: 3,
+        seed: 5,
+        scale: 0.02,
+        scheduler: SchedulerKind::ParallelAco,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = value("--out"),
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")
+                        .parse()
+                        .expect("--threads takes a number"),
+                );
+            }
+            "--warmup" => {
+                args.warmup = value("--warmup").parse().expect("--warmup takes a number");
+            }
+            "--reps" => args.reps = value("--reps").parse().expect("--reps takes a number"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed takes a number"),
+            "--scale" => args.scale = value("--scale").parse().expect("--scale takes a float"),
+            "--scheduler" => {
+                let name = value("--scheduler");
+                args.scheduler = SchedulerKind::ALL
+                    .into_iter()
+                    .find(|k| format!("{k:?}").eq_ignore_ascii_case(&name))
+                    .unwrap_or_else(|| panic!("unknown scheduler {name}"));
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    args
+}
+
+fn smoke_gate(report: &TuningReport, json: &str) {
+    validate_schema(json).unwrap_or_else(|e| panic!("smoke: schema violation: {e}"));
+    assert!(
+        !report.length_regression(),
+        "smoke: tuned total length {} regressed against fixed {}",
+        report.tuned.total_length,
+        report.fixed.total_length
+    );
+    assert!(
+        report.iterations_saved() > 0,
+        "smoke: tuned run searched {} iterations, fixed {} — tuning must \
+         strictly reduce search effort on a duplicate-heavy suite",
+        report.tuned.total_iterations,
+        report.fixed.total_iterations
+    );
+    assert!(
+        report.tuner.warm_hits > 0,
+        "smoke: no warm-start hint ever applied (warm_records {})",
+        report.tuner.warm_records
+    );
+    let (fixed, tuned) = (report.fixed.best_total_s, report.tuned.best_total_s);
+    assert!(
+        tuned <= fixed * 1.25,
+        "smoke: tuned best {tuned:.4}s lost to fixed {fixed:.4}s by more \
+         than the 25% allowance"
+    );
+    eprintln!("smoke: tuning gate passed");
+}
+
+fn main() {
+    let mut args = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if args.smoke {
+        args.scale = 0.008;
+        args.reps = args.reps.min(2);
+        args.warmup = args.warmup.min(2);
+    }
+    let threads = args.threads.unwrap_or(cores);
+    let report = measure(
+        args.seed,
+        args.scale,
+        args.scheduler,
+        threads,
+        args.warmup,
+        args.reps,
+    );
+    let json = report.to_json();
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    eprintln!(
+        "suite: {} regions, {} distinct (dedup ratio {:.3})",
+        report.regions, report.distinct_regions, report.dedup_ratio
+    );
+    for s in [&report.fixed, &report.tuned] {
+        eprintln!(
+            "{:<5} {:>8} iterations, total length {:>7}, best {:.4}s",
+            if s.tuned { "tuned" } else { "fixed" },
+            s.total_iterations,
+            s.total_length,
+            s.best_total_s
+        );
+    }
+    eprintln!(
+        "iterations saved: {} ({} warm hits, {} arm choices)",
+        report.iterations_saved(),
+        report.tuner.warm_hits,
+        report.tuner.choices
+    );
+    eprintln!("wrote {}", args.out);
+    if args.smoke {
+        smoke_gate(&report, &json);
+    }
+}

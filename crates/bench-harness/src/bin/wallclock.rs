@@ -123,12 +123,20 @@ fn main() {
     std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
     for s in &report.samples {
         eprintln!(
-            "host_threads={:<3} best {:.4}s (jobs {:.4}s, merge {:.4}s)",
-            s.threads, s.best.total_s, s.best.jobs_s, s.best.merge_s
+            "host_threads={:<3} best {:.4}s (jobs {:.4}s, merge {:.4}s){}",
+            s.threads,
+            s.best.total_s,
+            s.best.jobs_s,
+            s.best.merge_s,
+            if s.oversubscribed {
+                " [oversubscribed]"
+            } else {
+                ""
+            }
         );
     }
     if let Some(sp) = report.speedup() {
-        eprintln!("speedup (best parallel vs 1 thread): {sp:.2}x on {cores} cores");
+        eprintln!("speedup (best honest parallel vs 1 thread): {sp:.2}x on {cores} cores");
     }
     eprintln!("wrote {}", args.out);
     if args.smoke {

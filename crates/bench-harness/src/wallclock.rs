@@ -19,13 +19,20 @@ use sched_verify::suite_fingerprint;
 use workloads::{Suite, SuiteConfig};
 
 /// Version stamp of the JSON report layout. Bump on any key change.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: per-sample `oversubscribed` flag; `parallel_best_s`/`speedup`
+/// consider non-oversubscribed samples only.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Wall-clock samples for one `host_threads` setting.
 #[derive(Debug, Clone)]
 pub struct ThreadSample {
     /// The `host_threads` value measured.
     pub threads: usize,
+    /// Whether this sample requested more workers than the host has
+    /// cores. Oversubscribed rows are reported (the scaling tail is
+    /// informative) but never feed the headline speedup: claiming a
+    /// "16-thread speedup" measured on 4 cores would be dishonest.
+    pub oversubscribed: bool,
     /// End-to-end seconds of every repetition, in run order.
     pub all_total_s: Vec<f64>,
     /// Per-stage breakdown of the best (fastest) repetition.
@@ -68,16 +75,19 @@ impl WallclockReport {
             .map(|s| s.best.total_s)
     }
 
-    /// Best end-to-end seconds over every multi-thread sample.
+    /// Best end-to-end seconds over every multi-thread sample that the
+    /// host could genuinely run in parallel (oversubscribed rows are
+    /// excluded — their numbers measure scheduler thrash, not the pool).
     pub fn parallel_best_s(&self) -> Option<f64> {
         self.samples
             .iter()
-            .filter(|s| s.threads > 1)
+            .filter(|s| s.threads > 1 && !s.oversubscribed)
             .map(|s| s.best.total_s)
             .min_by(f64::total_cmp)
     }
 
     /// Sequential / parallel best-time ratio (> 1 means the pool won).
+    /// `None` when no honest (non-oversubscribed) parallel sample exists.
     pub fn speedup(&self) -> Option<f64> {
         match (self.sequential_best_s(), self.parallel_best_s()) {
             (Some(seq), Some(par)) if par > 0.0 => Some(seq / par),
@@ -117,10 +127,12 @@ impl WallclockReport {
         for (i, s) in self.samples.iter().enumerate() {
             let all: Vec<String> = s.all_total_s.iter().map(|t| format!("{t}")).collect();
             out.push_str(&format!(
-                "    {{\"threads\": {}, \"best_total_s\": {}, \"plan_s\": {}, \
+                "    {{\"threads\": {}, \"oversubscribed\": {}, \
+                 \"best_total_s\": {}, \"plan_s\": {}, \
                  \"jobs_s\": {}, \"merge_s\": {}, \"all_total_s\": [{}], \
                  \"modeled_compile_s\": {}}}{}\n",
                 s.threads,
+                s.oversubscribed,
                 s.best.total_s,
                 s.best.plan_s,
                 s.best.jobs_s,
@@ -159,6 +171,7 @@ pub const SCHEMA_KEYS: &[&str] = &[
     "\"checksums_agree\"",
     "\"samples\"",
     "\"threads\"",
+    "\"oversubscribed\"",
     "\"best_total_s\"",
     "\"plan_s\"",
     "\"jobs_s\"",
@@ -249,6 +262,7 @@ pub fn measure(
         }
         samples.push(ThreadSample {
             threads,
+            oversubscribed: threads > cores,
             all_total_s,
             best: best.expect("at least one repetition"),
             modeled_compile_s: modeled,
@@ -279,7 +293,14 @@ mod tests {
         let json = report.to_json();
         validate_schema(&json).expect("schema-valid report");
         assert!(report.sequential_best_s().is_some());
-        assert!(report.parallel_best_s().is_some());
+        if report.cores >= 2 {
+            assert!(report.parallel_best_s().is_some());
+        } else {
+            // On a single-core host the 2-thread row is oversubscribed
+            // and must not masquerade as a parallel measurement.
+            assert!(report.parallel_best_s().is_none());
+            assert!(report.speedup().is_none());
+        }
     }
 
     #[test]
@@ -290,5 +311,30 @@ mod tests {
         assert!(validate_schema(truncated).is_err());
         let gutted = json.replace("\"speedup\"", "\"sidewaysup\"");
         assert!(validate_schema(&gutted).is_err());
+    }
+
+    #[test]
+    fn oversubscribed_samples_are_labeled_and_excluded_from_speedup() {
+        let mut report = measure(3, 0.002, SchedulerKind::BaseAmd, &[1, 2], 1);
+        let cores = report.cores;
+        for s in &report.samples {
+            assert_eq!(s.oversubscribed, s.threads > cores);
+        }
+        // Fabricate an impossibly fast oversubscribed row: it must not
+        // become the headline parallel time.
+        let mut fake = report.samples[1].clone();
+        fake.threads = cores * 4;
+        fake.oversubscribed = true;
+        fake.best.total_s = 1e-12;
+        report.samples.push(fake);
+        let honest = report
+            .samples
+            .iter()
+            .filter(|s| s.threads > 1 && !s.oversubscribed)
+            .map(|s| s.best.total_s)
+            .min_by(f64::total_cmp);
+        assert_eq!(report.parallel_best_s(), honest);
+        assert_ne!(report.parallel_best_s(), Some(1e-12));
+        assert!(report.to_json().contains("\"oversubscribed\": true"));
     }
 }

@@ -60,10 +60,35 @@
 //!   mid-line) is rejected with `InvalidData`, never half-loaded.
 //! * `load_from` streams one line at a time; boot-time loading never
 //!   buffers the whole file in memory alongside the parsed entries.
+//!
+//! # Bounded memory
+//!
+//! The store is **capacity-bounded** ([`ScheduleCache::with_capacity`],
+//! default [`ScheduleCache::DEFAULT_CAPACITY`] entries): every entry
+//! carries a last-touch stamp from a global logical clock (bumped on
+//! insert and on every certified hit), and an insert that would push a
+//! shard past its share of the capacity evicts the stalest entries first
+//! (ties broken by key). Eviction is counted in [`CacheStats::evictions`]
+//! and only ever costs future misses — transparency is untouched, because
+//! an evicted entry is simply recomputed. Under host parallelism the
+//! stamps (and therefore the victim choice) depend on interleaving, which
+//! is fine for the same reason the other counters are excluded from the
+//! suite fingerprint.
+//!
+//! # Warm-started entries
+//!
+//! [`ScheduleCache::compile_solo_with`] memoizes *warm-started*
+//! compilations (see [`aco::warm`]): a hint changes the compiled result,
+//! so the hint's fingerprint is folded into the key and stored in the
+//! entry's equality gate. `compile_solo` (no hint) keys exactly as it
+//! always has, so a warm entry can never answer a cold lookup or vice
+//! versa. Warm entries are **not persisted** — the `schedcache v1` format
+//! is unchanged — because a hint is reconstructed from the tuning store,
+//! not from the cache file.
 
 use crate::batch::compile_batch_group;
 use crate::config::{PipelineConfig, SchedulerKind};
-use crate::region::{compile_region, FinalChoice, RegionCompilation};
+use crate::region::{compile_region_warm, FinalChoice, RegionCompilation};
 use aco::{batch_block_split, AcoConfig, AcoResult, PassStats};
 use gpu_sim::MemLayout;
 use list_sched::{Heuristic, ScheduleResult};
@@ -95,6 +120,8 @@ pub struct CacheStats {
     pub inserts: u64,
     /// Lookups whose entry was rejected by equality or re-certification.
     pub bypasses: u64,
+    /// Entries evicted to keep the store within its capacity.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -121,6 +148,7 @@ impl CacheStats {
             misses: self.misses - start.misses,
             inserts: self.inserts - start.inserts,
             bypasses: self.bypasses - start.bypasses,
+            evictions: self.evictions - start.evictions,
         }
     }
 }
@@ -145,12 +173,20 @@ enum Payload {
 }
 
 /// One memoized compilation plus everything the equality gate compares.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct CacheEntry {
     scheduler: SchedulerKind,
     aco: AcoConfig,
     revert: (u32, u32),
     occ: OccupancyModel,
+    /// Fingerprint of the warm-start hint the compilation ran under
+    /// (`None` = cold). Part of the equality gate: a warm result must
+    /// never answer a cold lookup (or one under a different hint), even
+    /// across a 64-bit key collision.
+    warm_fp: Option<u64>,
+    /// Last-touch logical time (set on insert and on every certified
+    /// hit); the eviction victim is the entry with the smallest stamp.
+    stamp: AtomicU64,
     payload: Payload,
 }
 
@@ -180,18 +216,44 @@ impl Shard {
         map.get(&key).cloned()
     }
 
+    /// Uncapped insert — tests poke entries past the capacity discipline.
+    #[cfg(test)]
     fn insert(&self, key: u64, entry: Arc<CacheEntry>) {
+        self.insert_capped(key, entry, usize::MAX);
+    }
+
+    /// Inserts and then evicts stalest-first (smallest stamp, ties broken
+    /// by key) until the shard holds at most `cap` entries; the entry just
+    /// inserted is never the victim. Returns the number evicted.
+    fn insert_capped(&self, key: u64, entry: Arc<CacheEntry>, cap: usize) -> u64 {
         let mut retired = self.retired.lock();
         let old = self.live.load(Ordering::Relaxed);
         // SAFETY: as in `get`; the mutex serializes writers, so `old` is
         // the current snapshot and no other writer frees or replaces it.
         let mut next: Map = unsafe { &*old }.clone();
         next.insert(key, entry);
+        let mut evicted = 0u64;
+        while next.len() > cap.max(1) {
+            let victim = next
+                .iter()
+                .filter(|&(&k, _)| k != key)
+                .map(|(&k, e)| (e.stamp.load(Ordering::Relaxed), k))
+                .min()
+                .map(|(_, k)| k);
+            match victim {
+                Some(k) => {
+                    next.remove(&k);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
         self.live
             .store(Box::into_raw(Box::new(next)), Ordering::Release);
         // The old snapshot may still be referenced by concurrent readers;
         // park it until the whole cache drops.
         retired.push(old);
+        evicted
     }
 
     fn len(&self) -> usize {
@@ -228,10 +290,15 @@ const SHARD_COUNT: usize = 16;
 /// The content-addressed schedule cache (see module docs).
 pub struct ScheduleCache {
     shards: Vec<Shard>,
+    /// Per-shard entry cap (the total capacity split across the shards).
+    shard_cap: usize,
+    /// Global logical clock for last-touch stamps.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
     bypasses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for ScheduleCache {
@@ -241,15 +308,35 @@ impl Default for ScheduleCache {
 }
 
 impl ScheduleCache {
-    /// An empty cache.
+    /// Default entry capacity of [`ScheduleCache::new`].
+    pub const DEFAULT_CAPACITY: usize = 16 * 1024;
+
+    /// An empty cache holding at most [`Self::DEFAULT_CAPACITY`] entries.
     pub fn new() -> ScheduleCache {
+        ScheduleCache::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache bounded to roughly `capacity` entries (the bound is
+    /// enforced per shard, as `max(1, capacity / SHARD_COUNT)` each, so the
+    /// effective total is at least [`SHARD_COUNT`] and within one shard's
+    /// share of the requested value). Exceeding the bound evicts the
+    /// least-recently-touched entries — see the module docs.
+    pub fn with_capacity(capacity: usize) -> ScheduleCache {
         ScheduleCache {
             shards: (0..SHARD_COUNT).map(|_| Shard::new()).collect(),
+            shard_cap: (capacity / SHARD_COUNT).max(1),
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             bypasses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The effective entry capacity (per-shard cap times shard count).
+    pub fn capacity(&self) -> usize {
+        self.shard_cap * SHARD_COUNT
     }
 
     /// Snapshot of the lifetime counters.
@@ -259,6 +346,7 @@ impl ScheduleCache {
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             bypasses: self.bypasses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -277,9 +365,26 @@ impl ScheduleCache {
         &self.shards[(key >> 59) as usize % SHARD_COUNT]
     }
 
+    /// The next last-touch stamp.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Stamps and inserts under the capacity bound, counting evictions but
+    /// not inserts (shared by [`Self::store`] and the loader).
+    fn admit(&self, key: u64, entry: CacheEntry) {
+        entry.stamp.store(self.tick(), Ordering::Relaxed);
+        let evicted = self
+            .shard(key)
+            .insert_capped(key, Arc::new(entry), self.shard_cap);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
     fn store(&self, key: u64, entry: CacheEntry) {
         self.inserts.fetch_add(1, Ordering::Relaxed);
-        self.shard(key).insert(key, Arc::new(entry));
+        self.admit(key, entry);
     }
 
     /// Compiles one solo region through the cache: adopt a certified hit,
@@ -291,7 +396,25 @@ impl ScheduleCache {
         occ: &OccupancyModel,
         cfg: &PipelineConfig,
     ) -> RegionCompilation {
-        let key = solo_key(ddg, occ, cfg);
+        self.compile_solo_with(ddg, occ, cfg, None)
+    }
+
+    /// [`Self::compile_solo`] with an optional warm-start hint (see
+    /// [`crate::region::compile_region_warm`]). A hint changes the
+    /// compiled result, so warm lookups key on the hint's fingerprint as
+    /// well — a cold lookup can never adopt a warm result or vice versa —
+    /// and the hint fingerprint sits in the entry's equality gate to hold
+    /// across 64-bit key collisions. With `warm = None` this is exactly
+    /// `compile_solo`, same keys and all.
+    pub fn compile_solo_with(
+        &self,
+        ddg: &Ddg,
+        occ: &OccupancyModel,
+        cfg: &PipelineConfig,
+        warm: Option<&aco::WarmStart>,
+    ) -> RegionCompilation {
+        let warm_fp = warm.map(aco::WarmStart::fingerprint);
+        let key = solo_key_warm(ddg, occ, cfg, warm_fp);
         match self.shard(key).get(key) {
             Some(entry) => {
                 if let Payload::Solo {
@@ -300,24 +423,26 @@ impl ScheduleCache {
                 } = &entry.payload
                 {
                     if same_inputs(&entry, cfg, occ)
+                        && entry.warm_fp == warm_fp
                         && cached_ddg.content_eq(ddg)
                         && certify_hit(ddg, occ, comp)
                     {
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        entry.stamp.store(self.tick(), Ordering::Relaxed);
                         return comp.clone();
                     }
                 }
                 // Collision, config mismatch under a colliding key, or a
                 // tampered entry: never adopt — recompute and self-heal.
                 self.bypasses.fetch_add(1, Ordering::Relaxed);
-                let comp = compile_region(ddg, occ, cfg);
-                self.store(key, solo_entry(ddg, occ, cfg, &comp));
+                let comp = compile_region_warm(ddg, occ, cfg, warm);
+                self.store(key, solo_entry_warm(ddg, occ, cfg, &comp, warm_fp));
                 comp
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                let comp = compile_region(ddg, occ, cfg);
-                self.store(key, solo_entry(ddg, occ, cfg, &comp));
+                let comp = compile_region_warm(ddg, occ, cfg, warm);
+                self.store(key, solo_entry_warm(ddg, occ, cfg, &comp, warm_fp));
                 comp
             }
         }
@@ -350,6 +475,7 @@ impl ScheduleCache {
                         .all(|(comp, new)| certify_hit(new, occ, comp));
                 if ok {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    entry.stamp.store(self.tick(), Ordering::Relaxed);
                     return attach_group_cfgs(group, comps.clone(), cfg);
                 }
             }
@@ -365,6 +491,8 @@ impl ScheduleCache {
                 aco: cfg.aco,
                 revert: (cfg.revert_occupancy_gain, cfg.revert_length_penalty),
                 occ: *occ,
+                warm_fp: None,
+                stamp: AtomicU64::new(0),
                 payload: Payload::Group {
                     ddgs: members.into_iter().cloned().collect(),
                     comps: outcomes.iter().map(|(_, _, c)| c.clone()).collect(),
@@ -387,7 +515,10 @@ impl ScheduleCache {
             // SAFETY: as in `Shard::get`.
             let map = unsafe { &*shard.live.load(Ordering::Acquire) };
             for (&k, e) in map {
-                if matches!(e.payload, Payload::Solo { .. }) {
+                // Warm-started entries are skipped along with group ones:
+                // their hints come from a tuning store, not the cache file,
+                // and the `schedcache v1` format stays hint-free.
+                if matches!(e.payload, Payload::Solo { .. }) && e.warm_fp.is_none() {
                     entries.push((k, e.clone()));
                 }
             }
@@ -505,15 +636,17 @@ impl ScheduleCache {
             if lines.expect_line("entry terminator")?.trim() != "end" {
                 return Err(bad_data("missing entry terminator"));
             }
-            cache.shard(key).insert(
+            cache.admit(
                 key,
-                Arc::new(CacheEntry {
+                CacheEntry {
                     scheduler,
                     aco,
                     revert,
                     occ,
+                    warm_fp: None,
+                    stamp: AtomicU64::new(0),
                     payload: Payload::Solo { ddg, comp },
-                }),
+                },
             );
             entries += 1;
         };
@@ -586,17 +719,30 @@ fn same_inputs(entry: &CacheEntry, cfg: &PipelineConfig, occ: &OccupancyModel) -
         && entry.occ == *occ
 }
 
+#[cfg(test)]
 fn solo_entry(
     ddg: &Ddg,
     occ: &OccupancyModel,
     cfg: &PipelineConfig,
     comp: &RegionCompilation,
 ) -> CacheEntry {
+    solo_entry_warm(ddg, occ, cfg, comp, None)
+}
+
+fn solo_entry_warm(
+    ddg: &Ddg,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+    comp: &RegionCompilation,
+    warm_fp: Option<u64>,
+) -> CacheEntry {
     CacheEntry {
         scheduler: cfg.scheduler,
         aco: cfg.aco,
         revert: (cfg.revert_occupancy_gain, cfg.revert_length_penalty),
         occ: *occ,
+        warm_fp,
+        stamp: AtomicU64::new(0),
         payload: Payload::Solo {
             ddg: ddg.clone(),
             comp: comp.clone(),
@@ -713,9 +859,29 @@ fn heuristic_index(heur: Heuristic) -> u64 {
         .expect("every heuristic is in ALL") as u64
 }
 
+#[cfg(test)]
 fn solo_key(ddg: &Ddg, occ: &OccupancyModel, cfg: &PipelineConfig) -> u64 {
+    solo_key_warm(ddg, occ, cfg, None)
+}
+
+/// Solo key with the warm-start hint folded in **only when present**:
+/// a cold lookup's key is bit-identical to what it was before warm
+/// memoization existed (tag 1, no extra words), while a warm lookup keys
+/// under its own tag plus the hint fingerprint.
+fn solo_key_warm(
+    ddg: &Ddg,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+    warm_fp: Option<u64>,
+) -> u64 {
     let mut h = Fnv64::new();
-    h.word(1); // entry-kind tag
+    match warm_fp {
+        None => h.word(1), // entry-kind tag: cold solo
+        Some(fp) => {
+            h.word(3); // entry-kind tag: warm solo
+            h.word(fp);
+        }
+    }
     hash_config(&mut h, cfg, occ);
     h.word(ddg_content_fingerprint(ddg));
     h.finish()
@@ -1064,6 +1230,7 @@ fn read_comp(it: &mut LineStream<impl BufRead>, n: usize) -> io::Result<RegionCo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::region::compile_region;
     use workloads::{Suite, SuiteConfig};
 
     fn cfg(kind: SchedulerKind) -> PipelineConfig {
@@ -1113,7 +1280,8 @@ mod tests {
                 hits: 1,
                 misses: 1,
                 inserts: 1,
-                bypasses: 0
+                bypasses: 0,
+                evictions: 0
             }
         );
         assert_eq!(cache.len(), 1);
@@ -1199,6 +1367,126 @@ mod tests {
         let healed = cache.compile_solo(&ddg, &occ, &c);
         assert!(comps_eq(&fresh, &healed));
         assert_eq!(cache.stats().bypasses, 3);
+    }
+
+    /// Satellite: the store is capacity-bounded. Overfilling it evicts
+    /// (counted), keeps the entry count within the effective capacity, and
+    /// an evicted entry is transparently recomputed — same bits, one more
+    /// miss.
+    #[test]
+    fn bounded_cache_evicts_and_stays_transparent() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::BaseAmd);
+        let cache = ScheduleCache::with_capacity(SHARD_COUNT);
+        assert_eq!(cache.capacity(), SHARD_COUNT);
+        let ddgs: Vec<Ddg> = (0..48).map(|i| sample_ddg(500 + i)).collect();
+        let fresh: Vec<RegionCompilation> = ddgs
+            .iter()
+            .map(|d| cache.compile_solo(d, &occ, &c))
+            .collect();
+        let unique: std::collections::HashSet<u64> =
+            ddgs.iter().map(ddg_content_fingerprint).collect();
+        assert!(unique.len() > cache.capacity(), "test must overfill");
+        assert!(cache.len() <= cache.capacity());
+        let s = cache.stats();
+        assert_eq!(s.evictions, s.inserts - cache.len() as u64);
+        assert!(s.evictions > 0, "overfilling must evict");
+        // Every lookup still returns the true compilation, evicted or not.
+        for (d, f) in ddgs.iter().zip(&fresh) {
+            assert!(comps_eq(f, &cache.compile_solo(d, &occ, &c)));
+        }
+        assert_eq!(cache.stats().bypasses, 0);
+    }
+
+    /// Eviction is stalest-first: the victim is the smallest last-touch
+    /// stamp, never the entry just inserted.
+    #[test]
+    fn eviction_prefers_stale_stamps() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::BaseAmd);
+        let shard = Shard::new();
+        for (key, stamp) in [(1u64, 10u64), (2, 5), (3, 20)] {
+            let ddg = sample_ddg(key);
+            let entry = solo_entry(&ddg, &occ, &c, &compile_region(&ddg, &occ, &c));
+            entry.stamp.store(stamp, Ordering::Relaxed);
+            shard.insert(key, Arc::new(entry));
+        }
+        let ddg = sample_ddg(4);
+        let entry = solo_entry(&ddg, &occ, &c, &compile_region(&ddg, &occ, &c));
+        entry.stamp.store(1, Ordering::Relaxed); // stalest of all, but new
+        let evicted = shard.insert_capped(4, Arc::new(entry), 2);
+        assert_eq!(evicted, 2);
+        assert!(shard.get(4).is_some(), "the new entry always survives");
+        assert!(shard.get(3).is_some(), "freshest stamp survives");
+        assert!(shard.get(1).is_none() && shard.get(2).is_none());
+    }
+
+    /// A certified hit refreshes the entry's stamp, so hot entries outlive
+    /// cold ones under eviction pressure.
+    #[test]
+    fn hits_refresh_the_eviction_stamp() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::BaseAmd);
+        let cache = ScheduleCache::new();
+        let a = sample_ddg(41);
+        let b = sample_ddg(42);
+        cache.compile_solo(&a, &occ, &c);
+        cache.compile_solo(&b, &occ, &c);
+        let key_a = solo_key(&a, &occ, &c);
+        let before = cache
+            .shard(key_a)
+            .get(key_a)
+            .unwrap()
+            .stamp
+            .load(Ordering::Relaxed);
+        cache.compile_solo(&a, &occ, &c); // hit
+        let after = cache
+            .shard(key_a)
+            .get(key_a)
+            .unwrap()
+            .stamp
+            .load(Ordering::Relaxed);
+        assert!(after > before, "hit must refresh the stamp");
+    }
+
+    /// Warm-started results memoize under their own keys: they never
+    /// answer a cold lookup (or one under a different hint), and they are
+    /// not persisted — the cache file format stays hint-free.
+    #[test]
+    fn warm_entries_key_separately_and_are_not_persisted() {
+        let occ = machine_model::OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::ParallelAco);
+        let ddg = sample_ddg(77);
+        let hint = aco::WarmStart::new(ddg.topo_order().to_vec()).unwrap();
+        let cache = ScheduleCache::new();
+
+        let cold = cache.compile_solo(&ddg, &occ, &c);
+        let warm_miss = cache.compile_solo_with(&ddg, &occ, &c, Some(&hint));
+        let warm_hit = cache.compile_solo_with(&ddg, &occ, &c, Some(&hint));
+        assert!(comps_eq(&warm_miss, &warm_hit));
+        assert!(comps_eq(
+            &warm_miss,
+            &compile_region_warm(&ddg, &occ, &c, Some(&hint))
+        ));
+        let cold_again = cache.compile_solo(&ddg, &occ, &c);
+        assert!(comps_eq(&cold, &cold_again));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.bypasses), (2, 2, 0));
+        assert_eq!(cache.len(), 2, "cold and warm entries coexist");
+
+        // Persistence drops the warm entry; the reloaded cache still
+        // answers the cold lookup and recomputes the warm one.
+        let mut bytes = Vec::new();
+        cache.save_to_writer(&mut bytes).unwrap();
+        let loaded = ScheduleCache::load_from_reader(io::BufReader::new(&bytes[..])).unwrap();
+        assert_eq!(loaded.len(), 1, "warm entries must not persist");
+        assert!(comps_eq(&cold, &loaded.compile_solo(&ddg, &occ, &c)));
+        assert_eq!(loaded.stats().hits, 1);
+        assert!(comps_eq(
+            &warm_miss,
+            &loaded.compile_solo_with(&ddg, &occ, &c, Some(&hint))
+        ));
+        assert_eq!(loaded.stats().misses, 1);
     }
 
     #[test]

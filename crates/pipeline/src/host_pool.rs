@@ -28,7 +28,9 @@
 use crate::batch::{compile_batch_group, plan_batches};
 use crate::cache::ScheduleCache;
 use crate::config::{PipelineConfig, SchedulerKind};
-use crate::region::{compile_region, RegionCompilation};
+use crate::region::{compile_region_warm, RegionCompilation};
+use crate::tune::{tunable, tuned_solo_inputs, TuneTag};
+use aco_tune::TuneStore;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use machine_model::OccupancyModel;
 use parking_lot::Mutex;
@@ -73,6 +75,10 @@ pub struct RegionOutcome {
     pub cfg: PipelineConfig,
     /// The compilation outcome.
     pub comp: RegionCompilation,
+    /// How the compilation was tuned (`None` when tuning was off, the job
+    /// was a batch group, or the scheduler kind is not ACO). The merge
+    /// uses this to feed the outcome back into the tuning store.
+    pub tune: Option<TuneTag>,
 }
 
 /// Plans the suite's job list in canonical (sequential-replay) order.
@@ -119,24 +125,44 @@ pub fn plan_jobs(suite: &Suite, cfg: &PipelineConfig) -> Vec<RegionJob> {
 /// [`ScheduleCache`] is supplied the per-region flow is consulted through
 /// it — transparently, since every hit is equality-checked and re-certified
 /// (see [`crate::cache`]), so the outcomes are byte-identical either way.
+///
+/// When a [`TuneStore`] is supplied, solo ACO compilations consult it for
+/// an arm-adjusted configuration and a pheromone warm-start hint (see
+/// [`crate::tune`]). The store is only *read* here — `choose`/`warm_hint`
+/// are pure in (state, args) and the state is frozen for the whole job
+/// phase — so jobs stay pure and thread-count independent. Batch groups
+/// and non-ACO kinds ignore the store.
 pub fn run_job(
     job: &RegionJob,
     suite: &Suite,
     occ: &OccupancyModel,
     cfg: &PipelineConfig,
     cache: Option<&ScheduleCache>,
+    tune: Option<&TuneStore>,
 ) -> Vec<RegionOutcome> {
     match job {
         RegionJob::Solo { kernel, region } => {
             let ddg = &suite.kernels[*kernel].regions[*region];
+            let (region_cfg, warm, tag) = match tune.filter(|_| tunable(cfg.scheduler)) {
+                Some(store) => {
+                    // The salt is the region's stable suite position, so a
+                    // single run spreads exploration across a class's
+                    // instances deterministically.
+                    let salt = ((*kernel as u64) << 32) | *region as u64;
+                    let (tcfg, warm, tag) = tuned_solo_inputs(ddg, salt, cfg, store);
+                    (tcfg, warm, Some(tag))
+                }
+                None => (*cfg, None, None),
+            };
             let comp = match cache {
-                Some(cache) => cache.compile_solo(ddg, occ, cfg),
-                None => compile_region(ddg, occ, cfg),
+                Some(cache) => cache.compile_solo_with(ddg, occ, &region_cfg, warm.as_ref()),
+                None => compile_region_warm(ddg, occ, &region_cfg, warm.as_ref()),
             };
             vec![RegionOutcome {
                 region: *region,
-                cfg: *cfg,
+                cfg: region_cfg,
                 comp,
+                tune: tag,
             }]
         }
         RegionJob::Group { kernel, members } => {
@@ -151,6 +177,7 @@ pub fn run_job(
                     region: ri,
                     cfg: rcfg,
                     comp,
+                    tune: None,
                 })
                 .collect()
         }
@@ -168,11 +195,12 @@ pub fn run_jobs(
     jobs: &[RegionJob],
     threads: usize,
     cache: Option<&ScheduleCache>,
+    tune: Option<&TuneStore>,
 ) -> Vec<Vec<RegionOutcome>> {
     if threads <= 1 || jobs.len() <= 1 {
         return jobs
             .iter()
-            .map(|j| run_job(j, suite, occ, cfg, cache))
+            .map(|j| run_job(j, suite, occ, cfg, cache, tune))
             .collect();
     }
     let injector = Injector::new();
@@ -191,7 +219,7 @@ pub fn run_jobs(
             let (injector, stealers, slots) = (&injector, &stealers, &slots);
             s.spawn(move |_| {
                 while let Some(i) = find_task(worker, me, injector, stealers) {
-                    *slots[i].lock() = Some(run_job(&jobs[i], suite, occ, cfg, cache));
+                    *slots[i].lock() = Some(run_job(&jobs[i], suite, occ, cfg, cache, tune));
                 }
             });
         }
@@ -246,6 +274,52 @@ mod tests {
     use super::*;
     use workloads::SuiteConfig;
 
+    /// Satellite 3 (determinism): with a *frozen* tuning store, tuned job
+    /// results are bit-identical across thread counts — choices and warm
+    /// hints are pure reads, so the pool only changes wall-clock time.
+    #[test]
+    fn tuned_execution_is_thread_count_deterministic() {
+        let suite = tiny_suite();
+        let occ = OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::ParallelAco);
+        let jobs = plan_jobs(&suite, &c);
+        // Pre-learn some state so warm hints and commits are exercised.
+        let store = TuneStore::new();
+        for _ in 0..2 {
+            for results in run_jobs(&suite, &occ, &c, &jobs, 1, None, Some(&store)) {
+                for o in results {
+                    let tag = o.tune.expect("solo ACO jobs are tuned");
+                    crate::tune::observe_outcome(&store, &tag, &o.comp);
+                }
+            }
+        }
+        let inline = run_jobs(&suite, &occ, &c, &jobs, 1, None, Some(&store));
+        for threads in [2, 8] {
+            let pooled = run_jobs(&suite, &occ, &c, &jobs, threads, None, Some(&store));
+            assert_eq!(inline.len(), pooled.len());
+            for (a, b) in inline.iter().zip(&pooled) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.region, y.region);
+                    assert_eq!(x.cfg, y.cfg, "tuned config must not depend on threads");
+                    assert_eq!(x.comp.occupancy, y.comp.occupancy);
+                    assert_eq!(x.comp.length, y.comp.length);
+                    assert_eq!(
+                        x.comp.sched_time_us.to_bits(),
+                        y.comp.sched_time_us.to_bits()
+                    );
+                    assert_eq!(
+                        x.comp.aco.as_ref().map(|r| &r.order),
+                        y.comp.aco.as_ref().map(|r| &r.order)
+                    );
+                    assert_eq!(
+                        x.tune.map(|t| (t.class, t.arm, t.warm_started)),
+                        y.tune.map(|t| (t.class, t.arm, t.warm_started))
+                    );
+                }
+            }
+        }
+    }
+
     fn tiny_suite() -> Suite {
         Suite::generate(&SuiteConfig::scaled(7, 0.008))
     }
@@ -294,10 +368,10 @@ mod tests {
         ] {
             let c = cfg(kind);
             let jobs = plan_jobs(&suite, &c);
-            let inline = run_jobs(&suite, &occ, &c, &jobs, 1, None);
+            let inline = run_jobs(&suite, &occ, &c, &jobs, 1, None, None);
             let cache = ScheduleCache::new();
             for (threads, cache) in [(2, None), (5, None), (3, Some(&cache))] {
-                let pooled = run_jobs(&suite, &occ, &c, &jobs, threads, cache);
+                let pooled = run_jobs(&suite, &occ, &c, &jobs, threads, cache, None);
                 assert_eq!(inline.len(), pooled.len());
                 for (a, b) in inline.iter().zip(&pooled) {
                     assert_eq!(a.len(), b.len());

@@ -1,7 +1,7 @@
 //! Per-region compilation: heuristic → LB gate → ACO → filters.
 
 use crate::config::{PipelineConfig, SchedulerKind};
-use aco::{AcoResult, ParallelScheduler, SequentialScheduler};
+use aco::{AcoResult, ParallelScheduler, SequentialScheduler, WarmStart};
 use list_sched::{Heuristic, ListScheduler, ScheduleResult};
 use machine_model::OccupancyModel;
 use sched_ir::{Cycle, Ddg};
@@ -49,6 +49,22 @@ pub struct RegionCompilation {
 /// the pass-2 cycle-threshold gate, and the post-scheduling filter compares
 /// the final ACO schedule against the heuristic one.
 pub fn compile_region(ddg: &Ddg, occ: &OccupancyModel, cfg: &PipelineConfig) -> RegionCompilation {
+    compile_region_warm(ddg, occ, cfg, None)
+}
+
+/// [`compile_region`] with an optional pheromone warm-start hint for the
+/// ACO schedulers (see [`aco::warm`]). With `warm = None` this is exactly
+/// `compile_region`, bit for bit; non-ACO scheduler kinds ignore the hint.
+///
+/// A warm-started compilation is a *different* pure function of its inputs
+/// than a cold one, so callers memoizing results must key on the hint too
+/// ([`crate::ScheduleCache::compile_solo_with`] does).
+pub fn compile_region_warm(
+    ddg: &Ddg,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+    warm: Option<&WarmStart>,
+) -> RegionCompilation {
     // The heuristic cost is charged to every scheduler kind: the ACO flow
     // always runs the heuristic first (Section VI-A).
     let heuristic_kind = match cfg.scheduler {
@@ -63,10 +79,14 @@ pub fn compile_region(ddg: &Ddg, occ: &OccupancyModel, cfg: &PipelineConfig) -> 
     // the full-colony parallel scheduler, exactly like `ParallelAco`.
     let aco_result = match cfg.scheduler {
         SchedulerKind::BaseAmd | SchedulerKind::CriticalPath => None,
-        SchedulerKind::SequentialAco => Some(SequentialScheduler::new(cfg.aco).schedule(ddg, occ)),
-        SchedulerKind::ParallelAco | SchedulerKind::BatchedParallelAco => {
-            Some(ParallelScheduler::new(cfg.aco).schedule(ddg, occ).result)
+        SchedulerKind::SequentialAco => {
+            Some(SequentialScheduler::new(cfg.aco).schedule_with(ddg, occ, warm))
         }
+        SchedulerKind::ParallelAco | SchedulerKind::BatchedParallelAco => Some(
+            ParallelScheduler::new(cfg.aco)
+                .schedule_with(ddg, occ, warm)
+                .result,
+        ),
     };
 
     assemble_compilation(ddg, heuristic, heuristic_time_us, aco_result, cfg)

@@ -8,7 +8,9 @@ use crate::exec_model::{
 };
 use crate::host_pool::{plan_jobs, run_jobs, RegionOutcome};
 use crate::region::{compile_region, FinalChoice, RegionCompilation};
+use crate::tune::observe_outcome;
 use crate::SchedulerKind;
+use aco_tune::TuneStore;
 use machine_model::OccupancyModel;
 use sched_ir::{Cycle, Ddg};
 use workloads::Suite;
@@ -147,11 +149,39 @@ where
 /// one cache across several suite compilations — e.g. repeated runs of the
 /// same suite, or a persisted cache reloaded from disk. The run's
 /// [`SuiteRun::cache`] counters report only this call's activity.
+///
+/// With [`PipelineConfig::tune`] enabled this consults a *fresh* tuning
+/// store: the run explores arms and records hints, but the knowledge dies
+/// with the call. To actually profit from tuning, share a long-lived
+/// store via [`compile_suite_with_stores`].
 pub fn compile_suite_with_cache<F>(
     suite: &Suite,
     occ: &OccupancyModel,
     cfg: &PipelineConfig,
     cache: Option<&ScheduleCache>,
+    observe: F,
+) -> SuiteRun
+where
+    F: FnMut(usize, usize, &Ddg, &PipelineConfig, &RegionCompilation),
+{
+    let tune = cfg.tune.enabled.then(TuneStore::new);
+    compile_suite_with_stores(suite, occ, cfg, cache, tune.as_ref(), observe)
+}
+
+/// [`compile_suite_with_cache`] compiling through caller-owned stores: a
+/// schedule cache and a tuning store (either may be `None`, overriding
+/// `cfg.cache` / `cfg.tune`). Sharing one [`TuneStore`] across repeated
+/// compilations is how the self-tuner learns: each run's job phase only
+/// *reads* the store (arm choices and warm hints are pure functions of the
+/// frozen state), and each run's canonical merge feeds outcomes back in a
+/// single-threaded fixed order — so the learned state after any run is
+/// byte-identical at every `host_threads` value.
+pub fn compile_suite_with_stores<F>(
+    suite: &Suite,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+    cache: Option<&ScheduleCache>,
+    tune: Option<&TuneStore>,
     observe: F,
 ) -> SuiteRun
 where
@@ -164,8 +194,8 @@ where
     // batch group in batched mode) on the host pool. Jobs are pure; the
     // pool only affects wall-clock time.
     let jobs = plan_jobs(suite, cfg);
-    let results = run_jobs(suite, occ, cfg, &jobs, cfg.host_threads, cache);
-    let mut run = merge_job_results(suite, occ, cfg, &jobs, results, cache, observe);
+    let results = run_jobs(suite, occ, cfg, &jobs, cfg.host_threads, cache, tune);
+    let mut run = merge_job_results(suite, occ, cfg, &jobs, results, cache, tune, observe);
     run.cache = cache
         .map(|c| c.stats().since(stats_start))
         .unwrap_or_default();
@@ -202,13 +232,24 @@ pub fn compile_suite_timed(
     let start = Instant::now();
     let cache = cfg.cache.enabled.then(ScheduleCache::new);
     let cache = cache.as_ref();
+    let tune = cfg.tune.enabled.then(TuneStore::new);
+    let tune = tune.as_ref();
     let jobs = plan_jobs(suite, cfg);
     let plan_s = start.elapsed().as_secs_f64();
     let t_jobs = Instant::now();
-    let results = run_jobs(suite, occ, cfg, &jobs, cfg.host_threads, cache);
+    let results = run_jobs(suite, occ, cfg, &jobs, cfg.host_threads, cache, tune);
     let jobs_s = t_jobs.elapsed().as_secs_f64();
     let t_merge = Instant::now();
-    let mut run = merge_job_results(suite, occ, cfg, &jobs, results, cache, |_, _, _, _, _| {});
+    let mut run = merge_job_results(
+        suite,
+        occ,
+        cfg,
+        &jobs,
+        results,
+        cache,
+        tune,
+        |_, _, _, _, _| {},
+    );
     run.cache = cache.map(ScheduleCache::stats).unwrap_or_default();
     let merge_s = t_merge.elapsed().as_secs_f64();
     (
@@ -235,6 +276,12 @@ pub fn compile_suite_timed(
 /// must be [`plan_jobs`]'s canonical list and `results` its per-job
 /// outcomes indexed the same way. [`SuiteRun::cache`] is left zeroed
 /// (callers sharing a long-lived cache report deltas themselves).
+///
+/// When a [`TuneStore`] is supplied, every tuned outcome is fed back into
+/// it here — and *only* here. The merge is single-threaded and walks
+/// canonical order, so the store's learned state after the call is
+/// independent of how phase 1 was executed.
+#[allow(clippy::too_many_arguments)]
 pub fn merge_job_results<F>(
     suite: &Suite,
     occ: &OccupancyModel,
@@ -242,6 +289,7 @@ pub fn merge_job_results<F>(
     jobs: &[crate::host_pool::RegionJob],
     results: Vec<Vec<RegionOutcome>>,
     cache: Option<&ScheduleCache>,
+    tune: Option<&TuneStore>,
     mut observe: F,
 ) -> SuiteRun
 where
@@ -291,10 +339,14 @@ where
                 region,
                 cfg: region_cfg,
                 comp,
+                tune: tag,
             } in outcomes
             {
                 observe(k, region, &kernel.regions[region], &region_cfg, &comp);
                 analyze_comp(&mut analysis, k, region, &kernel.regions[region], &comp);
+                if let (Some(store), Some(tag)) = (tune, tag) {
+                    observe_outcome(store, &tag, &comp);
+                }
                 slots[region] = Some(comp);
             }
         }
@@ -540,6 +592,61 @@ mod tests {
             "real pipeline output flagged: {:?}",
             rep.deny_findings
         );
+    }
+
+    /// Satellite 3 / D004-with-tuning: compiling with a frozen learned
+    /// store is cache-transparent (identical results cache on and off) and
+    /// repeatable, and the knowledge a run feeds back is deterministic.
+    #[test]
+    fn tuned_runs_are_cache_transparent_and_repeatable() {
+        let suite = tiny_suite();
+        let occ = OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::ParallelAco);
+        // Learn for two rounds (explore, then mostly commit).
+        let store = TuneStore::new();
+        for _ in 0..2 {
+            compile_suite_with_stores(&suite, &occ, &c, None, Some(&store), |_, _, _, _, _| {});
+        }
+        assert!(store.stats().observations > 0, "merge must feed back");
+        // Clones carry the knowledge; each run below starts from the same
+        // frozen state.
+        let (s1, s2, s3) = (store.clone(), store.clone(), store.clone());
+        let cache = ScheduleCache::new();
+        let off = compile_suite_with_stores(&suite, &occ, &c, None, Some(&s1), |_, _, _, _, _| {});
+        let on = compile_suite_with_stores(
+            &suite,
+            &occ,
+            &c,
+            Some(&cache),
+            Some(&s2),
+            |_, _, _, _, _| {},
+        );
+        let again =
+            compile_suite_with_stores(&suite, &occ, &c, None, Some(&s3), |_, _, _, _, _| {});
+        for other in [&on, &again] {
+            assert_eq!(off.total_length(), other.total_length());
+            assert_eq!(off.total_occupancy(), other.total_occupancy());
+            assert_eq!(off.kernel_time_us, other.kernel_time_us);
+            assert_eq!(off.benchmark_throughput, other.benchmark_throughput);
+            assert_eq!(off.compile_time_s, other.compile_time_s);
+        }
+        assert!(on.cache.lookups() > 0, "cached run must use the cache");
+    }
+
+    /// `cfg.tune` defaults off, and an explicitly disabled tuner is the
+    /// bitwise default pipeline — the golden-fingerprint contract.
+    #[test]
+    fn tuning_disabled_is_bitwise_default() {
+        let suite = tiny_suite();
+        let occ = OccupancyModel::vega_like();
+        let c = cfg(SchedulerKind::ParallelAco);
+        assert!(!c.tune.enabled, "paper config must not tune by default");
+        let base = compile_suite(&suite, &occ, &c);
+        let off = compile_suite(&suite, &occ, &c.with_tune(false));
+        assert_eq!(base.total_length(), off.total_length());
+        assert_eq!(base.kernel_time_us, off.kernel_time_us);
+        assert_eq!(base.benchmark_throughput, off.benchmark_throughput);
+        assert_eq!(base.compile_time_s, off.compile_time_s);
     }
 
     #[test]

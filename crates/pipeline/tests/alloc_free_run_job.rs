@@ -110,9 +110,9 @@ fn assert_job_alloc_invariant(
 ) {
     // Warm-up: not measured (first run may touch lazily initialized
     // thread state outside the scheduler).
-    let _ = run_job(job, suite, occ, low, None);
-    let (n_low, out_low) = count_events(|| run_job(job, suite, occ, low, None));
-    let (n_high, out_high) = count_events(|| run_job(job, suite, occ, high, None));
+    let _ = run_job(job, suite, occ, low, None, None);
+    let (n_low, out_low) = count_events(|| run_job(job, suite, occ, low, None, None));
+    let (n_high, out_high) = count_events(|| run_job(job, suite, occ, high, None, None));
     let (it_low, it_high) = (total_iterations(&out_low), total_iterations(&out_high));
     assert!(
         it_high > it_low,
@@ -134,7 +134,7 @@ fn find_cap_bound_solo(
     low: &PipelineConfig,
 ) -> Option<RegionJob> {
     for job in plan_jobs(suite, low) {
-        let out = run_job(&job, suite, occ, low, None);
+        let out = run_job(&job, suite, occ, low, None, None);
         if cap_bound(&out) {
             return Some(job);
         }
@@ -173,7 +173,7 @@ fn group_job_allocations_independent_of_iteration_count() {
     let job = plan_jobs(&suite, &low)
         .into_iter()
         .filter(|j| matches!(j, RegionJob::Group { members, .. } if members.len() >= 2))
-        .find(|j| cap_bound(&run_job(j, &suite, &occ, &low, None)))
+        .find(|j| cap_bound(&run_job(j, &suite, &occ, &low, None, None)))
         .expect("some batch group must be stopped by the iteration cap");
     assert_job_alloc_invariant("batch group", &job, &suite, &occ, &low, &high);
 }

@@ -44,6 +44,6 @@ pub use bitmatrix::BitMatrix;
 pub use bounds::effective_latency;
 pub use builder::{DdgBuilder, DdgError};
 pub use ddg::{Ddg, TransitiveClosure};
-pub use fingerprint::{ddg_content_fingerprint, Fnv64};
+pub use fingerprint::{ddg_content_fingerprint, ddg_structure_fingerprint, Fnv64};
 pub use instr::{InstrId, Instruction, Reg, RegClass, REG_CLASS_COUNT};
 pub use schedule::{Cycle, Schedule, ScheduleError};

@@ -22,9 +22,13 @@ use crate::proto::{self, Parsed, Response, ScheduleOpts, SuiteOpts};
 use crate::render;
 use crate::signal;
 use crate::stats::ServeStats;
+use aco_tune::TuneStore;
 use machine_model::OccupancyModel;
 use pipeline::host_pool::{plan_jobs, run_job, RegionJob, RegionOutcome};
-use pipeline::{merge_job_results, PipelineConfig, ScheduleCache, SchedulerKind};
+use pipeline::{
+    merge_job_results, observe_outcome, tunable, tuned_solo_inputs, PipelineConfig, ScheduleCache,
+    SchedulerKind,
+};
 use sched_ir::{textir, Ddg};
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -43,6 +47,14 @@ pub struct ServeConfig {
     /// on shutdown and on `flush`. `None` disables persistence (the warm
     /// in-memory cache still serves all clients).
     pub cache_path: Option<PathBuf>,
+    /// Enable the self-tuning store (in-memory) even without a
+    /// persistence path. Off by default: untuned requests reproduce the
+    /// golden-fingerprint pipeline bit for bit.
+    pub tune: bool,
+    /// Tuning-store persistence path (`schedtune v1`): implies tuning;
+    /// preloaded on boot when it exists, written on shutdown and on
+    /// `flush` alongside the cache.
+    pub tune_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +63,8 @@ impl Default for ServeConfig {
             workers: std::thread::available_parallelism().map_or(2, |n| n.get()),
             queue_capacity: 256,
             cache_path: None,
+            tune: false,
+            tune_path: None,
         }
     }
 }
@@ -130,6 +144,11 @@ struct SuiteState {
     results: Mutex<Vec<Option<Vec<RegionOutcome>>>>,
     remaining: AtomicUsize,
     expired: AtomicBool,
+    /// Snapshot of the engine's tuning store taken at submission, so every
+    /// job of this suite draws arm choices and warm hints from one frozen
+    /// state no matter how requests interleave. Observations go to the
+    /// engine's *shared* store during the canonical merge.
+    tune: Option<TuneStore>,
     ctx: RequestCtx,
 }
 
@@ -147,28 +166,44 @@ pub struct Engine {
     /// The cache every request consults; preloaded on boot, persisted on
     /// shutdown/flush.
     pub cache: ScheduleCache,
+    /// The shared self-tuning store, `Some` when the daemon runs with
+    /// tuning enabled. All requests read from and learn into the same
+    /// store, so every client profits from every other client's regions.
+    pub tune: Option<TuneStore>,
     planner: Planner<Work>,
     stats: ServeStats,
     cache_path: Option<PathBuf>,
+    tune_path: Option<PathBuf>,
 }
 
 impl Engine {
     /// Renders the `stats` payload.
     fn stats_report(&self) -> String {
+        let tuner = self.tune.as_ref().map(TuneStore::stats);
         self.stats
-            .report(&self.cache.stats(), self.planner.queued())
+            .report(&self.cache.stats(), tuner.as_ref(), self.planner.queued())
     }
 
-    /// Persists the cache to the configured path (atomic temp + rename).
-    fn flush(&self) -> Result<PathBuf, String> {
-        let path = self
-            .cache_path
-            .as_ref()
-            .ok_or("no cache file configured (start with --cache FILE)")?;
-        self.cache
-            .save_to(path)
-            .map_err(|e| format!("writing cache {}: {e}", path.display()))?;
-        Ok(path.clone())
+    /// Persists every configured store (atomic temp + rename each):
+    /// the cache to `cache_path`, the tuning store to `tune_path`.
+    fn flush(&self) -> Result<String, String> {
+        let mut flushed = Vec::new();
+        if let Some(path) = &self.cache_path {
+            self.cache
+                .save_to(path)
+                .map_err(|e| format!("writing cache {}: {e}", path.display()))?;
+            flushed.push(path.display().to_string());
+        }
+        if let (Some(store), Some(path)) = (&self.tune, &self.tune_path) {
+            store
+                .save_to(path)
+                .map_err(|e| format!("writing tuning store {}: {e}", path.display()))?;
+            flushed.push(path.display().to_string());
+        }
+        if flushed.is_empty() {
+            return Err("no cache file configured (start with --cache FILE)".into());
+        }
+        Ok(flushed.join(", "))
     }
 }
 
@@ -187,11 +222,23 @@ impl Server {
             Some(p) if p.exists() => ScheduleCache::load_from(p)?,
             _ => ScheduleCache::new(),
         };
+        // A tuning path implies tuning; a corrupt or tampered store file
+        // is a boot error, same contract as the cache.
+        let tune = if config.tune || config.tune_path.is_some() {
+            Some(match &config.tune_path {
+                Some(p) if p.exists() => TuneStore::load_from(p)?,
+                _ => TuneStore::new(),
+            })
+        } else {
+            None
+        };
         let engine = Arc::new(Engine {
             cache,
+            tune,
             planner: Planner::new(config.queue_capacity),
             stats: ServeStats::default(),
             cache_path: config.cache_path,
+            tune_path: config.tune_path,
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -214,10 +261,10 @@ impl Server {
         for w in self.workers {
             let _ = w.join();
         }
-        if self.engine.cache_path.is_some() {
+        if self.engine.cache_path.is_some() || self.engine.tune_path.is_some() {
             self.engine
                 .flush()
-                .map_err(|e| io::Error::other(format!("persisting cache on shutdown: {e}")))?;
+                .map_err(|e| io::Error::other(format!("persisting stores on shutdown: {e}")))?;
         }
         Ok(())
     }
@@ -244,7 +291,21 @@ fn run_region(engine: &Engine, w: RegionWork, started: Instant) {
     if w.ctx.expired_at(started, &engine.stats) {
         return;
     }
-    let comp = engine.cache.compile_solo(&w.ddg, &w.occ, &w.cfg);
+    // With tuning on, a `schedule` request is a solo region: choose an
+    // arm + warm hint from the shared store and feed the outcome straight
+    // back (requests are served whole by one worker, so the inline
+    // observation here is the single-threaded canonical point).
+    let comp = match engine.tune.as_ref().filter(|_| tunable(w.cfg.scheduler)) {
+        Some(store) => {
+            let (tuned_cfg, warm, tag) = tuned_solo_inputs(&w.ddg, 0, &w.cfg, store);
+            let comp = engine
+                .cache
+                .compile_solo_with(&w.ddg, &w.occ, &tuned_cfg, warm.as_ref());
+            observe_outcome(store, &tag, &comp);
+            comp
+        }
+        None => engine.cache.compile_solo(&w.ddg, &w.occ, &w.cfg),
+    };
     let resp = match render::schedule_report(&w.ddg, &w.occ, w.kind, &comp) {
         Ok(payload) => {
             ServeStats::bump(&engine.stats.served, 1);
@@ -292,6 +353,7 @@ fn run_suite_job(engine: &Engine, state: &SuiteState, index: usize, started: Ins
             &state.occ,
             &state.cfg,
             Some(&engine.cache),
+            state.tune.as_ref(),
         );
         let mut results = state.results.lock().unwrap_or_else(PoisonError::into_inner);
         results[index] = Some(outcomes);
@@ -326,6 +388,7 @@ fn finish_suite(engine: &Engine, state: &SuiteState) {
         &state.jobs,
         results,
         Some(&engine.cache),
+        engine.tune.as_ref(),
         |_, _, _, _, _| {},
     );
     ServeStats::bump(
@@ -412,13 +475,13 @@ pub fn handle_connection(
                 );
             }
             Parsed::Flush => match engine.flush() {
-                Ok(path) => {
+                Ok(flushed) => {
                     ServeStats::bump(&engine.stats.flushes, 1);
                     ServeStats::bump(&engine.stats.served, 1);
                     out.send(
                         &id,
                         &Response::Ok {
-                            payload: format!("flushed {}\n", path.display()),
+                            payload: format!("flushed {flushed}\n"),
                         },
                     );
                 }
@@ -554,6 +617,7 @@ fn submit_suite(engine: &Arc<Engine>, out: &Arc<ResponseWriter>, id: String, opt
             &jobs,
             Vec::new(),
             Some(&engine.cache),
+            engine.tune.as_ref(),
             |_, _, _, _, _| {},
         );
         ServeStats::bump(&engine.stats.suites, 1);
@@ -587,6 +651,7 @@ fn submit_suite(engine: &Arc<Engine>, out: &Arc<ResponseWriter>, id: String, opt
         results: Mutex::new((0..n_jobs).map(|_| None).collect()),
         remaining: AtomicUsize::new(n_jobs),
         expired: AtomicBool::new(false),
+        tune: engine.tune.clone(),
         ctx,
     });
     let batch: Vec<(u64, Work)> = priorities

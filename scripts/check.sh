@@ -46,6 +46,24 @@ if [[ "${1:-}" != "--fast" ]]; then
     cmp "$smoke_dir/cache_on.txt" "$smoke_dir/cache_off.txt"
     cmp "$smoke_dir/cache_on.txt" "$smoke_dir/cache_on2.txt"
 
+    echo "==> schedule --tune smoke"
+    # Tuning composes with the cache without polluting it: a tuned run
+    # against the same cache file must leave the untuned cached output
+    # bitwise unchanged, --no-tune must override --tune, and the tuning
+    # store must persist across invocations.
+    ./target/release/gpu-aco-cli schedule "$smoke_dir/region.txt" --blocks 8 \
+        --cache "$smoke_dir/sched.cache" --tune "$smoke_dir/sched.tune" > /dev/null
+    [[ -s "$smoke_dir/sched.tune" ]] || { echo "--tune must write the store"; exit 1; }
+    grep -q "^schedtune v1$" "$smoke_dir/sched.tune" \
+        || { echo "tuning store header malformed"; exit 1; }
+    ./target/release/gpu-aco-cli schedule "$smoke_dir/region.txt" --blocks 8 \
+        --cache "$smoke_dir/sched.cache" --cache-stats 2>&1 > "$smoke_dir/cache_on3.txt" \
+        | grep -q "cache: 1 hits" || { echo "tuned run polluted the untuned cache"; exit 1; }
+    cmp "$smoke_dir/cache_on.txt" "$smoke_dir/cache_on3.txt"
+    ./target/release/gpu-aco-cli schedule "$smoke_dir/region.txt" --blocks 8 \
+        --tune "$smoke_dir/sched.tune" --no-tune > "$smoke_dir/no_tune.txt"
+    cmp "$smoke_dir/cache_off.txt" "$smoke_dir/no_tune.txt"
+
     echo "==> serve daemon smoke"
     # Boot the daemon on a Unix socket, preloading the cache the smoke
     # above persisted; serve two concurrent clients plus a stats request;
@@ -106,7 +124,8 @@ EOF
 
     echo "==> scripts/bench.sh --smoke"
     scripts/bench.sh --smoke --out "$smoke_dir/BENCH_wallclock.json" \
-        --cache-out "$smoke_dir/BENCH_cache.json"
+        --cache-out "$smoke_dir/BENCH_cache.json" \
+        --tuning-out "$smoke_dir/BENCH_tuning.json"
 
     echo "==> wallclock smoke perf gate"
     # Schema-validate the bench reports with a real JSON parser (the
@@ -123,7 +142,7 @@ import json, sys
 def validate(path):
     with open(path) as f:
         rep = json.load(f)
-    assert rep["schema_version"] == 1, rep.get("schema_version")
+    assert rep["schema_version"] == 2, rep.get("schema_version")
     assert rep["benchmark"] == "suite_compile_wallclock", rep["benchmark"]
     for key in ("cores", "scheduler", "suite", "repetitions", "checksum",
                 "checksums_agree", "samples", "sequential_best_s",
@@ -132,9 +151,17 @@ def validate(path):
     assert rep["checksums_agree"] is True, f"{path}: checksum drift"
     assert rep["samples"], f"{path}: no samples"
     for s in rep["samples"]:
-        for key in ("threads", "best_total_s", "plan_s", "jobs_s",
-                    "merge_s", "all_total_s", "modeled_compile_s"):
+        for key in ("threads", "oversubscribed", "best_total_s", "plan_s",
+                    "jobs_s", "merge_s", "all_total_s", "modeled_compile_s"):
             assert key in s, f"{path}: missing sample key {key}"
+        assert s["oversubscribed"] == (s["threads"] > rep["cores"]), \
+            f"{path}: bad oversubscription label at {s['threads']} threads"
+    # The headline numbers must come from honest rows only.
+    honest = [s["best_total_s"] for s in rep["samples"]
+              if s["threads"] > 1 and not s["oversubscribed"]]
+    want = min(honest) if honest else None
+    assert rep["parallel_best_s"] == want, \
+        f"{path}: parallel_best_s drew from an oversubscribed row"
     return rep
 
 smoke = validate(sys.argv[1])
@@ -150,6 +177,41 @@ assert cur["jobs_s"] <= limit, (
     f"(committed baseline {base['jobs_s']:.3f}s x 1.25)")
 print(f"perf gate: smoke jobs_s {cur['jobs_s']:.3f}s <= {limit:.3f}s "
       f"(baseline {base['jobs_s']:.3f}s)")
+EOF
+
+    echo "==> tuning smoke gate"
+    # The tuning_bench binary already self-gates under --smoke (strictly
+    # fewer iterations, no length regression, warm hits fired); this step
+    # re-validates both the smoke report and the committed full-scale
+    # report with a real JSON parser so a renderer regression cannot slip
+    # through.
+    python3 - "$smoke_dir/BENCH_tuning.json" BENCH_tuning.json <<'EOF'
+import json, sys
+
+for path in sys.argv[1:]:
+    with open(path) as f:
+        rep = json.load(f)
+    assert rep["schema_version"] == 1, rep.get("schema_version")
+    assert rep["benchmark"] == "suite_compile_tuning", rep["benchmark"]
+    for key in ("cores", "scheduler", "suite", "threads", "warmup_rounds",
+                "repetitions", "samples", "tuner", "iterations_saved",
+                "length_regression", "wallclock_ratio"):
+        assert key in rep, f"{path}: missing key {key}"
+    assert len(rep["samples"]) == 2, f"{path}: need fixed + tuned samples"
+    fixed, tuned = rep["samples"]
+    assert fixed["tuned"] is False and tuned["tuned"] is True, f"{path}: sample order"
+    for s in rep["samples"]:
+        for key in ("total_iterations", "total_length", "best_total_s",
+                    "all_total_s"):
+            assert key in s, f"{path}: missing sample key {key}"
+    assert rep["iterations_saved"] == \
+        fixed["total_iterations"] - tuned["total_iterations"], f"{path}: math"
+    assert rep["iterations_saved"] > 0, \
+        f"{path}: tuning saved no iterations ({rep['iterations_saved']})"
+    assert rep["length_regression"] is False, f"{path}: tuned length regressed"
+    assert rep["tuner"]["warm_hits"] > 0, f"{path}: warm hints never fired"
+    print(f"tuning gate: {path}: {rep['iterations_saved']} iterations saved, "
+          f"{rep['tuner']['warm_hits']} warm hits, no length regression")
 EOF
 fi
 

@@ -6,6 +6,7 @@
 //!                      [--seed N] [--blocks N] [--threads N] [--unit-aprp]
 //!                      [--dot <out.dot>]
 //! gpu-aco-cli schedule <region.txt> --cache <cache.txt> [--cache-stats] [--no-cache]
+//! gpu-aco-cli schedule <region.txt> --tune <tune.txt> [--cache <cache.txt>] [--no-tune]
 //! gpu-aco-cli schedule <region.txt>... --batch [--seed N] [--blocks N] [--unit-aprp]
 //! gpu-aco-cli generate <pattern> <size> [--seed N]     # emit a region file
 //! gpu-aco-cli inspect <region.txt>                     # bounds and stats
@@ -22,7 +23,19 @@
 //! file can never smuggle in a wrong schedule). `--no-cache` runs the same
 //! pipeline path with the cache disabled — the printed schedule is
 //! bitwise identical either way. `--cache-stats` reports the
-//! hit/miss/insert/bypass counters on stderr.
+//! hit/miss/insert/bypass/eviction counters on stderr.
+//!
+//! `--tune <tune.txt>` additionally routes ACO compilations through the
+//! self-tuning store (`aco_tune`): the region's feature class picks a
+//! tuned `AcoConfig` arm, a structure-fingerprint match seeds the
+//! pheromone trails from the cached winner's order, and the outcome is
+//! recorded back into `tune.txt` for the next invocation. Tuning *changes
+//! the search inputs*, so tuned schedules may legitimately differ from
+//! (never regress against certification of) the untuned output; the
+//! schedule cache keys tuned entries separately, which is why `--tune`
+//! and `--cache` compose without polluting the untuned entries.
+//! `--no-tune` forces the untuned path even when a tuning store is
+//! configured elsewhere (it is also the default).
 //!
 //! `--batch` schedules several regions in one cooperative multi-region
 //! launch pair (the paper's Section VII proposal): the colony's blocks are
@@ -75,6 +88,7 @@ const USAGE: &str = "usage:
                        [--seed N] [--blocks N] [--threads N] [--unit-aprp]
                        [--dot <out.dot>]
   gpu-aco-cli schedule <region.txt> --cache <cache.txt> [--cache-stats] [--no-cache]
+  gpu-aco-cli schedule <region.txt> --tune <tune.txt> [--cache <cache.txt>] [--no-tune]
   gpu-aco-cli schedule <region.txt>... --batch [--seed N] [--blocks N] [--unit-aprp]
   gpu-aco-cli generate <pattern> <size> [--seed N]
       patterns: reduction scan transform vector stencil sort gather random mixed
@@ -84,7 +98,7 @@ const USAGE: &str = "usage:
   gpu-aco-cli analyze <region.txt>... [--json] [--pedantic]
                       [--baseline <file>] [--write-baseline <file>]
   gpu-aco-cli serve [--socket <path>] [--cache <cache.txt>]
-                    [--workers N] [--queue N]
+                    [--tune [<tune.txt>]] [--workers N] [--queue N]
   gpu-aco-cli request --socket <path> schedule <region.txt>
                       [--scheduler amd|cp|seq|par] [--seed N] [--blocks N]
                       [--unit-aprp] [--deadline-ms N]
@@ -104,17 +118,31 @@ const USAGE: &str = "usage:
                 persisted at F across invocations (schedulers amd|cp|seq|par);
                 hits skip the ACO search and are re-certified before adoption
   --no-cache    same pipeline path with the cache disabled (identical output)
-  --cache-stats report hit/miss/insert/bypass counters on stderr
+  --cache-stats report hit/miss/insert/bypass/eviction counters on stderr
+  --tune F      self-tune ACO compilations through the bandit/warm-start
+                store persisted at F (created if missing): tuned runs may
+                pick a different AcoConfig arm and warm-start the pheromone
+                trails, so the schedule may differ from the untuned output;
+                composes with --cache (tuned entries are keyed separately,
+                untuned cache entries stay byte-identical)
+  --no-tune     force the untuned fixed-config path (the default); with
+                both flags, --no-tune wins and the store file is untouched
 
   serve         run the scheduling daemon: requests on stdin (default) or a
                 Unix socket (--socket), one warm schedule cache shared by
                 every client, preloaded from --cache and persisted back on
-                shutdown/flush; --workers compile threads (default: all
-                cores), --queue admission capacity (default 256)
+                shutdown/flush; --tune enables the shared self-tuning store
+                (with FILE: preloaded/persisted like the cache; without:
+                in-memory for the daemon's lifetime); --workers compile
+                threads (default: all cores), --queue admission capacity
+                (default 256)
   request       client for a running daemon: sends one request over the
-                socket and prints the response payload (byte-identical to
-                the one-shot `schedule --cache` output for the same input);
-                exits nonzero on err/overloaded/expired responses";
+                socket and prints the response payload; byte-identical to
+                the one-shot `schedule --cache` output when the daemon runs
+                untuned — a daemon started with --tune answers from its
+                tuned/warm-started search instead, so compare against
+                `schedule --tune` in that case; exits nonzero on
+                err/overloaded/expired responses";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -194,7 +222,7 @@ fn schedule(args: &[String]) -> Result<(), String> {
     }
     if args
         .iter()
-        .any(|a| a == "--cache" || a == "--no-cache" || a == "--cache-stats")
+        .any(|a| a == "--cache" || a == "--no-cache" || a == "--cache-stats" || a == "--tune")
     {
         return schedule_cached(args);
     }
@@ -316,18 +344,33 @@ fn schedule(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `schedule ... --cache/--no-cache`: compile through the pipeline's
-/// region flow so the content-addressed schedule cache can answer repeat
-/// regions. With `--cache FILE` the cache is loaded from (and saved back
-/// to) `FILE`; `--no-cache` runs the identical pipeline path without it,
-/// so the printed schedule is bitwise comparable between the two.
+/// `schedule ... --cache/--no-cache/--tune`: compile through the
+/// pipeline's region flow so the content-addressed schedule cache can
+/// answer repeat regions. With `--cache FILE` the cache is loaded from
+/// (and saved back to) `FILE`; `--no-cache` runs the identical pipeline
+/// path without it, so the printed schedule is bitwise comparable between
+/// the two. `--tune FILE` layers the self-tuning store on top: ACO
+/// compilations draw an arm-adjusted config and a pheromone warm hint
+/// from `FILE` and record the outcome back; tuned cache entries key
+/// separately, so the composition never pollutes untuned lookups.
 fn schedule_cached(args: &[String]) -> Result<(), String> {
-    use gpu_aco::compile::{compile_region, PipelineConfig, ScheduleCache, SchedulerKind};
+    use gpu_aco::compile::{
+        compile_region, compile_region_warm, observe_outcome, tunable, tuned_solo_inputs,
+        PipelineConfig, ScheduleCache, SchedulerKind,
+    };
+    use gpu_aco::tuning::TuneStore;
     use std::path::Path;
 
     let paths = positional_args(
         args,
-        &["--scheduler", "--seed", "--blocks", "--threads", "--cache"],
+        &[
+            "--scheduler",
+            "--seed",
+            "--blocks",
+            "--threads",
+            "--cache",
+            "--tune",
+        ],
     );
     let path = paths.first().ok_or("schedule needs a region file")?;
     let ddg = load_region(path)?;
@@ -371,9 +414,31 @@ fn schedule_cached(args: &[String]) -> Result<(), String> {
         (Some(_), false) => Some(ScheduleCache::new()),
         _ => None,
     };
-    let comp = match &cache {
-        Some(c) => c.compile_solo(&ddg, &occ, &cfg),
-        None => compile_region(&ddg, &occ, &cfg),
+    // --no-tune beats --tune: the store file is neither read nor written.
+    let no_tune = args.iter().any(|a| a == "--no-tune");
+    let tune_file = flag_value(args, "--tune").filter(|_| !no_tune);
+    let tune = match &tune_file {
+        Some(f) if Path::new(f).exists() => Some(
+            TuneStore::load_from(Path::new(f))
+                .map_err(|e| format!("loading tuning store {f}: {e}"))?,
+        ),
+        Some(_) => Some(TuneStore::new()),
+        None => None,
+    };
+    let comp = match tune.as_ref().filter(|_| tunable(kind)) {
+        Some(store) => {
+            let (tuned_cfg, warm, tag) = tuned_solo_inputs(&ddg, 0, &cfg, store);
+            let comp = match &cache {
+                Some(c) => c.compile_solo_with(&ddg, &occ, &tuned_cfg, warm.as_ref()),
+                None => compile_region_warm(&ddg, &occ, &tuned_cfg, warm.as_ref()),
+            };
+            observe_outcome(store, &tag, &comp);
+            comp
+        }
+        None => match &cache {
+            Some(c) => c.compile_solo(&ddg, &occ, &cfg),
+            None => compile_region(&ddg, &occ, &cfg),
+        },
     };
     // The daemon (`serve`) renders through the same function, which is
     // what keeps its responses byte-identical to this command's output.
@@ -382,13 +447,17 @@ fn schedule_cached(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--cache-stats") {
         let s = cache.as_ref().map(ScheduleCache::stats).unwrap_or_default();
         eprintln!(
-            "cache: {} hits, {} misses, {} inserts, {} bypasses",
-            s.hits, s.misses, s.inserts, s.bypasses
+            "cache: {} hits, {} misses, {} inserts, {} bypasses, {} evictions",
+            s.hits, s.misses, s.inserts, s.bypasses, s.evictions
         );
     }
     if let (Some(c), Some(f)) = (&cache, &cache_file) {
         c.save_to(Path::new(f))
             .map_err(|e| format!("writing cache {f}: {e}"))?;
+    }
+    if let (Some(t), Some(f)) = (&tune, &tune_file) {
+        t.save_to(Path::new(f))
+            .map_err(|e| format!("writing tuning store {f}: {e}"))?;
     }
     Ok(())
 }
@@ -399,9 +468,9 @@ fn schedule_batched(args: &[String]) -> Result<(), String> {
 
     if args
         .iter()
-        .any(|a| a == "--cache" || a == "--no-cache" || a == "--cache-stats")
+        .any(|a| a == "--cache" || a == "--no-cache" || a == "--cache-stats" || a == "--tune")
     {
-        return Err("the cache flags are not supported with --batch".into());
+        return Err("the cache and tuning flags are not supported with --batch".into());
     }
     let paths = positional_args(
         args,
@@ -759,10 +828,22 @@ fn serve(args: &[String]) -> Result<(), String> {
             .map_err(|_| "--queue must be an integer")?,
         None => 256,
     };
+    // `--tune` takes an optional FILE: with one, the store persists there
+    // like the cache; bare `--tune` keeps it in memory for the daemon's
+    // lifetime.
+    let (tune, tune_path) = match args.iter().position(|a| a == "--tune") {
+        Some(i) => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+            Some(f) => (true, Some(std::path::PathBuf::from(f))),
+            None => (true, None),
+        },
+        None => (false, None),
+    };
     let config = ServeConfig {
         workers,
         queue_capacity,
         cache_path: flag_value(args, "--cache").map(std::path::PathBuf::from),
+        tune,
+        tune_path,
     };
     match flag_value(args, "--socket") {
         Some(path) => gpu_aco::serve::serve_unix(std::path::Path::new(&path), config)
