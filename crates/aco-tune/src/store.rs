@@ -114,6 +114,24 @@ impl TuneStore {
         }
     }
 
+    /// Folds another store's lifetime counters into this one's. Suite
+    /// compilation's job phase reads a frozen *clone* of the caller's
+    /// store (so the streaming merge's observations cannot perturb
+    /// in-flight choices); the clone's service counters — choices served,
+    /// warm hits/misses — would die with it otherwise, so the pipeline
+    /// absorbs them back after the run. Counters only; never knowledge.
+    pub fn absorb_counters(&self, s: &TunerStats) {
+        self.choices.fetch_add(s.choices, Ordering::Relaxed);
+        self.explored.fetch_add(s.explored, Ordering::Relaxed);
+        self.committed.fetch_add(s.committed, Ordering::Relaxed);
+        self.warm_hits.fetch_add(s.warm_hits, Ordering::Relaxed);
+        self.warm_misses.fetch_add(s.warm_misses, Ordering::Relaxed);
+        self.observations
+            .fetch_add(s.observations, Ordering::Relaxed);
+        self.warm_records
+            .fetch_add(s.warm_records, Ordering::Relaxed);
+    }
+
     /// Snapshot of the lifetime counters.
     pub fn stats(&self) -> TunerStats {
         TunerStats {

@@ -11,11 +11,13 @@
 //!
 //! `--smoke` runs a tiny suite and then **gates**: the report must pass
 //! structural schema validation, every repetition must produce the same
-//! result checksum, and on a machine with ≥ 2 cores the best parallel
-//! time must not lose to sequential by more than 10% (wall-clock noise
-//! allowance). Any violation exits non-zero, failing `scripts/check.sh`.
+//! result checksum, that checksum must equal the retained barrier-merge
+//! reference implementation's (so both merge paths run every CI pass),
+//! and on a machine with ≥ 2 cores the best parallel time must not lose
+//! to sequential by more than 10% (wall-clock noise allowance). Any
+//! violation exits non-zero, failing `scripts/check.sh`.
 
-use bench_harness::wallclock::{measure, validate_schema, WallclockReport};
+use bench_harness::wallclock::{measure, reference_checksum, validate_schema, WallclockReport};
 use pipeline::SchedulerKind;
 
 struct Args {
@@ -90,6 +92,20 @@ fn smoke_gate(report: &WallclockReport, json: &str) {
         report.checksums_agree(),
         "smoke: result checksums differ across thread counts"
     );
+    // Exercise the retained barrier reference merge and pin it against
+    // the streaming path's checksum: both merge implementations must
+    // agree byte-for-byte on every CI run.
+    let streamed = report
+        .samples
+        .first()
+        .expect("at least one sample")
+        .checksum;
+    let reference = reference_checksum(report.suite_seed, report.suite_scale, report.scheduler);
+    assert_eq!(
+        streamed, reference,
+        "smoke: streaming merge and barrier reference merge disagree"
+    );
+    eprintln!("smoke: streaming and reference merge checksums agree ({streamed:#018x})");
     if report.cores >= 2 {
         let seq = report
             .sequential_best_s()
@@ -123,11 +139,14 @@ fn main() {
     std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
     for s in &report.samples {
         eprintln!(
-            "host_threads={:<3} best {:.4}s (jobs {:.4}s, merge {:.4}s){}",
+            "host_threads={:<3} best {:.4}s (jobs {:.4}s, merge {:.4}s, \
+             overlapped {:.4}s, critical path {:.4}s){}",
             s.threads,
             s.best.total_s,
             s.best.jobs_s,
             s.best.merge_s,
+            s.best.merge_overlap_s,
+            s.best.critical_path_s(),
             if s.oversubscribed {
                 " [oversubscribed]"
             } else {

@@ -14,14 +14,21 @@
 //! serializer.
 
 use machine_model::OccupancyModel;
-use pipeline::{compile_suite_timed, PipelineConfig, SchedulerKind, SuiteWallclock};
+use pipeline::host_pool::{plan_jobs, run_jobs};
+use pipeline::{
+    compile_suite_timed, merge_job_results, PipelineConfig, SchedulerKind, SuiteWallclock,
+};
 use sched_verify::suite_fingerprint;
 use workloads::{Suite, SuiteConfig};
 
 /// Version stamp of the JSON report layout. Bump on any key change.
 /// v2: per-sample `oversubscribed` flag; `parallel_best_s`/`speedup`
 /// consider non-oversubscribed samples only.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3: streaming-merge split — per-sample `merge_overlap_s` (merge busy
+/// time hidden under still-running jobs) and `critical_path_s`
+/// (`plan + jobs + (merge − overlap)`); `total_s < jobs_s + merge_s`
+/// at `threads ≥ 2` is the direct signature of a non-zero overlap.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Wall-clock samples for one `host_threads` setting.
 #[derive(Debug, Clone)]
@@ -129,7 +136,8 @@ impl WallclockReport {
             out.push_str(&format!(
                 "    {{\"threads\": {}, \"oversubscribed\": {}, \
                  \"best_total_s\": {}, \"plan_s\": {}, \
-                 \"jobs_s\": {}, \"merge_s\": {}, \"all_total_s\": [{}], \
+                 \"jobs_s\": {}, \"merge_s\": {}, \"merge_overlap_s\": {}, \
+                 \"critical_path_s\": {}, \"all_total_s\": [{}], \
                  \"modeled_compile_s\": {}}}{}\n",
                 s.threads,
                 s.oversubscribed,
@@ -137,6 +145,8 @@ impl WallclockReport {
                 s.best.plan_s,
                 s.best.jobs_s,
                 s.best.merge_s,
+                s.best.merge_overlap_s,
+                s.best.critical_path_s(),
                 all.join(", "),
                 s.modeled_compile_s,
                 if i + 1 < self.samples.len() { "," } else { "" }
@@ -158,7 +168,7 @@ impl WallclockReport {
     }
 }
 
-/// Keys every schema-1 report must contain. Used by the smoke gate (and
+/// Keys every schema-3 report must contain. Used by the smoke gate (and
 /// tests) as a cheap structural check without a JSON parser.
 pub const SCHEMA_KEYS: &[&str] = &[
     "\"schema_version\"",
@@ -176,6 +186,8 @@ pub const SCHEMA_KEYS: &[&str] = &[
     "\"plan_s\"",
     "\"jobs_s\"",
     "\"merge_s\"",
+    "\"merge_overlap_s\"",
+    "\"critical_path_s\"",
     "\"all_total_s\"",
     "\"modeled_compile_s\"",
     "\"sequential_best_s\"",
@@ -210,6 +222,32 @@ pub fn validate_schema(json: &str) -> Result<(), String> {
         return Err("unbalanced braces or unterminated string".into());
     }
     Ok(())
+}
+
+/// Fingerprint of the same suite configuration compiled through the
+/// retained **barrier reference** merge (all jobs first, one serial merge
+/// after, single-threaded) instead of the streaming path `measure` times.
+/// The `--smoke` gate asserts this equals the streamed checksum, so every
+/// CI run exercises both merge implementations against each other.
+pub fn reference_checksum(suite_seed: u64, suite_scale: f64, scheduler: SchedulerKind) -> u64 {
+    let suite = Suite::generate(&SuiteConfig::scaled(suite_seed, suite_scale));
+    let occ = OccupancyModel::vega_like();
+    let mut cfg = PipelineConfig::paper(scheduler, 0);
+    cfg.aco.pass2_gate_cycles = 1;
+    let cache = cfg.cache.enabled.then(pipeline::ScheduleCache::new);
+    let jobs = plan_jobs(&suite, &cfg);
+    let results = run_jobs(&suite, &occ, &cfg, &jobs, 1, cache.as_ref(), None);
+    let run = merge_job_results(
+        &suite,
+        &occ,
+        &cfg,
+        &jobs,
+        results,
+        cache.as_ref(),
+        None,
+        |_, _, _, _, _| {},
+    );
+    suite_fingerprint(&run)
 }
 
 /// Measures suite compilation wall-clock across `thread_counts`, running
@@ -290,8 +328,24 @@ mod tests {
         let report = measure(3, 0.002, SchedulerKind::ParallelAco, &[1, 2], 1);
         assert!(report.checksums_agree());
         assert_eq!(report.samples.len(), 2);
+        for s in &report.samples {
+            assert!(
+                s.best.merge_overlap_s >= 0.0 && s.best.merge_overlap_s <= s.best.merge_s,
+                "overlap must be a sub-slice of merge time"
+            );
+            let cp = s.best.critical_path_s();
+            let want = s.best.plan_s + s.best.jobs_s + (s.best.merge_s - s.best.merge_overlap_s);
+            assert!((cp - want).abs() < 1e-12);
+            if s.threads <= 1 {
+                assert_eq!(
+                    s.best.merge_overlap_s, 0.0,
+                    "inline runs interleave but never overlap"
+                );
+            }
+        }
         let json = report.to_json();
         validate_schema(&json).expect("schema-valid report");
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(report.sequential_best_s().is_some());
         if report.cores >= 2 {
             assert!(report.parallel_best_s().is_some());
@@ -301,6 +355,17 @@ mod tests {
             assert!(report.parallel_best_s().is_none());
             assert!(report.speedup().is_none());
         }
+    }
+
+    #[test]
+    fn streaming_and_barrier_reference_checksums_agree() {
+        let report = measure(3, 0.002, SchedulerKind::ParallelAco, &[1], 1);
+        let streamed = report.samples[0].checksum;
+        assert_eq!(
+            streamed,
+            reference_checksum(3, 0.002, SchedulerKind::ParallelAco),
+            "streaming merge and barrier reference disagree"
+        );
     }
 
     #[test]

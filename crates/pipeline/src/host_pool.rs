@@ -24,6 +24,17 @@
 //! workers pull batches into their local queue and steal from siblings when
 //! both run dry. Jobs never spawn jobs, so a worker that finds the injector
 //! and every sibling empty can retire.
+//!
+//! Two execution shapes are offered over the same pool. [`run_jobs`] is the
+//! barrier shape: every job completes, then the caller merges — retained as
+//! the reference implementation the equivalence tests compare against.
+//! [`run_jobs_streaming`] is the pipelined shape: workers publish finished
+//! results into a pre-sized [`SlotTable`] (one write-once slot per
+//! canonical job index — no channel, no unbounded buffering) and the
+//! *calling thread* consumes slot `i` the moment it lands, in index order.
+//! Because consumption order is canonical either way, both shapes feed the
+//! merge the identical stream; streaming only moves the merge work into
+//! the shadow of still-running jobs.
 
 use crate::batch::{compile_batch_group, plan_batches};
 use crate::cache::ScheduleCache;
@@ -35,6 +46,9 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use machine_model::OccupancyModel;
 use parking_lot::Mutex;
 use sched_ir::Ddg;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex, PoisonError};
+use std::time::Instant;
 use workloads::Suite;
 
 /// One unit of parallel suite-compilation work.
@@ -229,6 +243,197 @@ pub fn run_jobs(
         .into_iter()
         .map(|slot| slot.into_inner().expect("every job ran"))
         .collect()
+}
+
+/// A pre-sized table of write-once result slots, one per canonical job
+/// index — the hand-off between streaming producers and the in-order
+/// consumer. Unlike a channel it holds at most one value per job (bounded
+/// by construction) and delivers them in *slot* order, not completion
+/// order, which is exactly what the deterministic merge needs.
+///
+/// [`cancel`](SlotTable::cancel) aborts the rendezvous: pending and future
+/// [`wait_take`](SlotTable::wait_take) calls return `None`, and late
+/// publishes are dropped. The `sched-serve` daemon uses it to unblock a
+/// suite's merge consumer when the request expires in the queue.
+pub struct SlotTable<T> {
+    state: StdMutex<SlotState<T>>,
+    ready: Condvar,
+}
+
+struct SlotState<T> {
+    slots: Vec<Option<T>>,
+    cancelled: bool,
+}
+
+impl<T> SlotTable<T> {
+    /// A table of `n` empty slots.
+    pub fn new(n: usize) -> SlotTable<T> {
+        SlotTable {
+            state: StdMutex::new(SlotState {
+                slots: (0..n).map(|_| None).collect(),
+                cancelled: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Number of slots (not the number currently filled).
+    pub fn len(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    /// Whether the table has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SlotState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fills slot `i` and wakes the consumer. Each slot is write-once:
+    /// publishing an occupied slot panics (two jobs claimed the same
+    /// index). Publishes after [`cancel`](SlotTable::cancel) are dropped.
+    pub fn publish(&self, i: usize, value: T) {
+        let mut s = self.lock();
+        if s.cancelled {
+            return;
+        }
+        assert!(s.slots[i].is_none(), "job slot {i} published twice");
+        s.slots[i] = Some(value);
+        self.ready.notify_all();
+    }
+
+    /// Aborts the rendezvous: every pending and future `wait_take` returns
+    /// `None`, and late publishes are dropped.
+    pub fn cancel(&self) {
+        self.lock().cancelled = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks until slot `i` is published (returning the value) or the
+    /// table is cancelled (returning `None`). A value already published
+    /// before cancellation is still delivered.
+    pub fn wait_take(&self, i: usize) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(v) = s.slots[i].take() {
+                return Some(v);
+            }
+            if s.cancelled {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Host-timing facts of one [`run_jobs_streaming`] call, for wall-clock
+/// instrumentation (the merge side is timed by the caller's consumer).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamTiming {
+    /// Cumulative wall time spent inside [`run_job`], summed over workers.
+    pub jobs_busy_s: f64,
+    /// Wall span from the start of the job phase to the completion of the
+    /// last job. Inline mode: equals `jobs_busy_s` (jobs alternate with
+    /// merge work on one thread, so a span would double-count the merge).
+    pub jobs_span_s: f64,
+    /// Whether jobs ran on a worker pool. `false` means inline on the
+    /// calling thread — no merge work ever overlapped a running job, so
+    /// consumers always saw `in_flight == 0`.
+    pub pooled: bool,
+}
+
+/// Executes every job and hands each result to `consume` **in canonical
+/// job index order** — `consume(i, outcomes, in_flight)` where `in_flight`
+/// is the number of jobs not yet finished by the pool at hand-off time
+/// (always 0 in inline mode). This is the streaming half of the
+/// deterministic merge: the consumer is the single-threaded in-order
+/// merge, and it runs on the *calling* thread (so non-`Send` observers
+/// work), overlapped with the workers still compiling later jobs.
+///
+/// `threads <= 1` (or a single job) degenerates to strict alternation on
+/// the calling thread: run job `i`, consume job `i`. Since jobs are pure
+/// and consumption order is canonical either way, the consumer sees a
+/// stream byte-identical to the pooled one at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_jobs_streaming<C>(
+    suite: &Suite,
+    occ: &OccupancyModel,
+    cfg: &PipelineConfig,
+    jobs: &[RegionJob],
+    threads: usize,
+    cache: Option<&ScheduleCache>,
+    tune: Option<&TuneStore>,
+    mut consume: C,
+) -> StreamTiming
+where
+    C: FnMut(usize, Vec<RegionOutcome>, usize),
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        let mut busy = 0.0;
+        for (i, job) in jobs.iter().enumerate() {
+            let t = Instant::now();
+            let outcomes = run_job(job, suite, occ, cfg, cache, tune);
+            busy += t.elapsed().as_secs_f64();
+            consume(i, outcomes, 0);
+        }
+        return StreamTiming {
+            jobs_busy_s: busy,
+            jobs_span_s: busy,
+            pooled: false,
+        };
+    }
+    let start = Instant::now();
+    let table = SlotTable::new(jobs.len());
+    let remaining = AtomicUsize::new(jobs.len());
+    let busy_ns = AtomicU64::new(0);
+    let jobs_done_at: StdMutex<Option<Instant>> = StdMutex::new(None);
+    let injector = Injector::new();
+    for i in 0..jobs.len() {
+        injector.push(i);
+    }
+    let workers: Vec<Worker<usize>> = (0..threads.min(jobs.len()))
+        .map(|_| Worker::new_fifo())
+        .collect();
+    let stealers: Vec<Stealer<usize>> = workers.iter().map(Worker::stealer).collect();
+    crossbeam::scope(|s| {
+        for (me, worker) in workers.iter().enumerate() {
+            let (injector, stealers) = (&injector, &stealers);
+            let (table, remaining, busy_ns, jobs_done_at) =
+                (&table, &remaining, &busy_ns, &jobs_done_at);
+            s.spawn(move |_| {
+                while let Some(i) = find_task(worker, me, injector, stealers) {
+                    let t = Instant::now();
+                    let outcomes = run_job(&jobs[i], suite, occ, cfg, cache, tune);
+                    busy_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    table.publish(i, outcomes);
+                    if remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        *jobs_done_at.lock().unwrap_or_else(PoisonError::into_inner) =
+                            Some(Instant::now());
+                    }
+                }
+            });
+        }
+        // The in-order consumer, on the calling thread: merge job `i` the
+        // moment slot `i` lands, while workers keep compiling ahead.
+        for i in 0..jobs.len() {
+            let outcomes = table
+                .wait_take(i)
+                .expect("suite job table is never cancelled");
+            consume(i, outcomes, remaining.load(Ordering::SeqCst));
+        }
+    })
+    .expect("suite compilation worker panicked");
+    let done_at = jobs_done_at
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .expect("last job records its completion");
+    StreamTiming {
+        jobs_busy_s: busy_ns.load(Ordering::Relaxed) as f64 / 1e9,
+        jobs_span_s: done_at.duration_since(start).as_secs_f64(),
+        pooled: true,
+    }
 }
 
 /// The work-stealing discipline: local queue first, then a batch from the

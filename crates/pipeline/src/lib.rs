@@ -49,6 +49,7 @@ pub mod region;
 pub mod suite_run;
 pub mod tune;
 
+pub use aco_tune::TuneStore;
 pub use analyze::{analyze_region, check_config_drift, AnalysisReport};
 pub use batch::plan_batches;
 pub use cache::{CacheStats, ScheduleCache};
@@ -56,10 +57,14 @@ pub use config::{
     AnalyzeConfig, BatchingConfig, CacheConfig, PipelineConfig, SchedulerKind, TuneConfig,
 };
 pub use exec_model::{benchmark_throughput, kernel_time_us, ExecModel};
-pub use host_pool::{plan_jobs as plan_suite_jobs, RegionJob, RegionOutcome};
+pub use host_pool::{
+    plan_jobs as plan_suite_jobs, run_jobs_streaming, RegionJob, RegionOutcome, SlotTable,
+    StreamTiming,
+};
 pub use region::{compile_region, compile_region_warm, FinalChoice, RegionCompilation};
 pub use suite_run::{
     compile_suite, compile_suite_observed, compile_suite_timed, compile_suite_with_cache,
-    compile_suite_with_stores, merge_job_results, RegionRecord, SuiteRun, SuiteWallclock,
+    compile_suite_with_stores, merge_job_results, RegionRecord, SuiteMerger, SuiteRun,
+    SuiteWallclock,
 };
 pub use tune::{observe_outcome, tunable, tuned_solo_inputs, TuneTag};

@@ -6,13 +6,13 @@ use crate::config::PipelineConfig;
 use crate::exec_model::{
     benchmark_throughput, kernel_time_us, schedule_fingerprint, unmodeled_factor, ExecModel,
 };
-use crate::host_pool::{plan_jobs, run_jobs, RegionOutcome};
+use crate::host_pool::{plan_jobs, run_jobs_streaming, RegionJob, RegionOutcome};
 use crate::region::{compile_region, FinalChoice, RegionCompilation};
 use crate::tune::observe_outcome;
 use crate::SchedulerKind;
 use aco_tune::TuneStore;
 use machine_model::OccupancyModel;
-use sched_ir::{Cycle, Ddg};
+use sched_ir::{Cycle, Ddg, Fnv64};
 use workloads::Suite;
 
 /// Per-region record of a suite compilation.
@@ -78,6 +78,13 @@ pub struct SuiteRun {
     /// [`PipelineConfig::analyze`] was enabled. Analysis is read-only, so
     /// every other field is bitwise identical whether this ran or not.
     pub analysis: Option<AnalysisReport>,
+    /// FNV-1a fingerprint of the run, folded *incrementally* as results
+    /// stream through the merge (region records as each kernel closes;
+    /// the small per-kernel/per-benchmark aggregates at the end). Equals
+    /// `sched_verify::suite_fingerprint` on the finished run — pinned by
+    /// the golden tests — without a second pass over `regions`. Excludes
+    /// `cache` (interleaving-dependent) and `analysis` (read-only).
+    pub fingerprint: u64,
 }
 
 impl SuiteRun {
@@ -187,15 +194,33 @@ pub fn compile_suite_with_stores<F>(
 where
     F: FnMut(usize, usize, &Ddg, &PipelineConfig, &RegionCompilation),
 {
-    // Snapshot before phase 1: the run's counters must cover the job
+    // Snapshot before the job phase: the run's counters must cover the job
     // phase's lookups, not just the merge's capped re-schedules.
     let stats_start = cache.map(ScheduleCache::stats).unwrap_or_default();
-    // Phase 1 — parallel: compile every job (solo region, or cooperative
-    // batch group in batched mode) on the host pool. Jobs are pure; the
-    // pool only affects wall-clock time.
     let jobs = plan_jobs(suite, cfg);
-    let results = run_jobs(suite, occ, cfg, &jobs, cfg.host_threads, cache, tune);
-    let mut run = merge_job_results(suite, occ, cfg, &jobs, results, cache, tune, observe);
+    // Jobs must read a tuning state *frozen* at phase start — under the
+    // barrier shape that held for free (all reads preceded all merge
+    // writes); with the merge streaming alongside the jobs, a clone makes
+    // it hold by construction. Observations still land on the caller's
+    // store, in canonical order, on this thread.
+    let job_store = tune.cloned();
+    let mut merger = SuiteMerger::new(suite, occ, cfg, &jobs, cache, tune, observe);
+    run_jobs_streaming(
+        suite,
+        occ,
+        cfg,
+        &jobs,
+        cfg.host_threads,
+        cache,
+        job_store.as_ref(),
+        |i, outcomes, _| merger.consume(i, outcomes),
+    );
+    let mut run = merger.finish();
+    // The job phase's arm choices and warm hits landed on the frozen
+    // clone; fold its counters back so the caller's store reports them.
+    if let (Some(store), Some(job_store)) = (tune, job_store.as_ref()) {
+        store.absorb_counters(&job_store.stats());
+    }
     run.cache = cache
         .map(|c| c.stats().since(stats_start))
         .unwrap_or_default();
@@ -210,19 +235,39 @@ where
 pub struct SuiteWallclock {
     /// Planning the job list.
     pub plan_s: f64,
-    /// Compiling every job (the phase `host_threads` parallelizes).
+    /// The job phase (what `host_threads` parallelizes). On a worker pool
+    /// this is the wall span from phase start to the last job's
+    /// completion; inline (`host_threads <= 1`) it is the cumulative time
+    /// inside the jobs, excluding the interleaved merge work.
     pub jobs_s: f64,
-    /// The sequential merge: observer replay, kernel post filter, modeled
-    /// time and throughput aggregation.
+    /// The deterministic merge's *busy* time: observer replay, kernel post
+    /// filter, modeled time and throughput aggregation. With the streaming
+    /// consumer this work is no longer a serial tail — see
+    /// `merge_overlap_s`.
     pub merge_s: f64,
+    /// The portion of `merge_s` that ran while jobs were still in flight
+    /// on the pool — merge work hidden inside the job phase. Zero when
+    /// `host_threads <= 1` (nothing runs concurrently inline). The serial
+    /// merge tail is `merge_s - merge_overlap_s`, and
+    /// `total_s < jobs_s + merge_s` exactly when overlap is non-zero.
+    pub merge_overlap_s: f64,
     /// End-to-end wall-clock of the whole call.
     pub total_s: f64,
 }
 
-/// [`compile_suite`] with a measured host wall-clock breakdown of the
-/// three phases. The returned [`SuiteRun`] is exactly what
-/// [`compile_suite`] returns — timing instrumentation reads the clock
-/// only at phase boundaries.
+impl SuiteWallclock {
+    /// The serialized critical path: plan, the job span, and only the
+    /// non-overlapped remainder of the merge. This is what end-to-end
+    /// time converges to as the streaming consumer hides the merge.
+    pub fn critical_path_s(&self) -> f64 {
+        self.plan_s + self.jobs_s + (self.merge_s - self.merge_overlap_s)
+    }
+}
+
+/// [`compile_suite`] with a measured host wall-clock breakdown. The
+/// returned [`SuiteRun`] is exactly what [`compile_suite`] returns —
+/// timing instrumentation reads the clock only at phase and consume
+/// boundaries, never inside the schedulers.
 pub fn compile_suite_timed(
     suite: &Suite,
     occ: &OccupancyModel,
@@ -236,38 +281,53 @@ pub fn compile_suite_timed(
     let tune = tune.as_ref();
     let jobs = plan_jobs(suite, cfg);
     let plan_s = start.elapsed().as_secs_f64();
-    let t_jobs = Instant::now();
-    let results = run_jobs(suite, occ, cfg, &jobs, cfg.host_threads, cache, tune);
-    let jobs_s = t_jobs.elapsed().as_secs_f64();
-    let t_merge = Instant::now();
-    let mut run = merge_job_results(
+    let job_store = tune.cloned();
+    let mut merger = SuiteMerger::new(suite, occ, cfg, &jobs, cache, tune, |_, _, _, _, _| {});
+    let (mut merge_s, mut merge_overlap_s) = (0.0, 0.0);
+    let timing = run_jobs_streaming(
         suite,
         occ,
         cfg,
         &jobs,
-        results,
+        cfg.host_threads,
         cache,
-        tune,
-        |_, _, _, _, _| {},
+        job_store.as_ref(),
+        |i, outcomes, in_flight| {
+            let t = Instant::now();
+            merger.consume(i, outcomes);
+            let d = t.elapsed().as_secs_f64();
+            merge_s += d;
+            if in_flight > 0 {
+                merge_overlap_s += d;
+            }
+        },
     );
+    let t_finish = Instant::now();
+    let mut run = merger.finish();
+    merge_s += t_finish.elapsed().as_secs_f64();
     run.cache = cache.map(ScheduleCache::stats).unwrap_or_default();
-    let merge_s = t_merge.elapsed().as_secs_f64();
     (
         run,
         SuiteWallclock {
             plan_s,
-            jobs_s,
+            jobs_s: if timing.pooled {
+                timing.jobs_span_s
+            } else {
+                timing.jobs_busy_s
+            },
             merge_s,
+            merge_overlap_s,
             total_s: start.elapsed().as_secs_f64(),
         },
     )
 }
 
-/// Phase 2 — sequential merge, in canonical job order: replay observer
-/// callbacks exactly as the sequential compiler fires them, then apply
-/// the kernel-level post filter and the modeled-time accounting. Every
-/// float accumulation happens here, in one fixed order, so the result is
-/// independent of how phase 1 was executed.
+/// The barrier-shape merge, retained as the **reference implementation**:
+/// every job already ran, `results` is indexed by canonical job, and the
+/// whole merge executes here as one serial pass. The streaming compilers
+/// above produce byte-identical output (both feed the same
+/// [`SuiteMerger`] the same canonical stream) — the equivalence property
+/// tests pin that against this entry point.
 ///
 /// Public so out-of-crate executors — the `sched-serve` daemon runs suite
 /// jobs through its own admission-controlled priority queue — can run
@@ -278,40 +338,163 @@ pub fn compile_suite_timed(
 /// (callers sharing a long-lived cache report deltas themselves).
 ///
 /// When a [`TuneStore`] is supplied, every tuned outcome is fed back into
-/// it here — and *only* here. The merge is single-threaded and walks
-/// canonical order, so the store's learned state after the call is
-/// independent of how phase 1 was executed.
+/// it here — and *only* here, single-threaded in canonical order, so the
+/// store's learned state after the call is independent of how the jobs
+/// were executed.
 #[allow(clippy::too_many_arguments)]
 pub fn merge_job_results<F>(
     suite: &Suite,
     occ: &OccupancyModel,
     cfg: &PipelineConfig,
-    jobs: &[crate::host_pool::RegionJob],
+    jobs: &[RegionJob],
     results: Vec<Vec<RegionOutcome>>,
     cache: Option<&ScheduleCache>,
     tune: Option<&TuneStore>,
-    mut observe: F,
+    observe: F,
 ) -> SuiteRun
 where
     F: FnMut(usize, usize, &Ddg, &PipelineConfig, &RegionCompilation),
 {
-    let exec = ExecModel {
-        max_occupancy: occ.max_waves(),
-    };
-    // In-pipeline static analysis rides the observer path: it sees exactly
-    // the compilations the observer sees (including capped re-schedules)
-    // and never mutates one, so it cannot perturb the run.
-    let mut analysis = cfg.analyze.enabled.then(|| {
-        let mut rep = AnalysisReport::default();
-        rep.absorb(check_config_drift(cfg, occ));
-        rep
-    });
-    let analyze_comp = |rep: &mut Option<AnalysisReport>,
-                        k: usize,
-                        ri: usize,
-                        ddg: &Ddg,
-                        comp: &RegionCompilation| {
-        if let Some(rep) = rep.as_mut() {
+    let mut merger = SuiteMerger::new(suite, occ, cfg, jobs, cache, tune, observe);
+    for (i, outcomes) in results.into_iter().enumerate() {
+        merger.consume(i, outcomes);
+    }
+    merger.finish()
+}
+
+/// Folds one region record into the incremental suite fingerprint — the
+/// exact word stream `sched_verify::suite_fingerprint` hashes per record.
+fn fold_record(fp: &mut Fnv64, r: &RegionRecord) {
+    fp.word(r.kernel as u64);
+    fp.word(r.region as u64);
+    fp.word(r.size as u64);
+    fp.word(r.occupancy as u64);
+    fp.word(r.length as u64);
+    fp.word(r.heuristic_occupancy as u64);
+    fp.word(r.heuristic_length as u64);
+    fp.word(r.pass1_processed as u64);
+    fp.word(r.pass2_processed as u64);
+    fp.word(r.pass1_iterations as u64);
+    fp.word(r.pass2_iterations as u64);
+    fp.word(r.pass1_time_us.to_bits());
+    fp.word(r.pass2_time_us.to_bits());
+    fp.word(r.sched_time_us.to_bits());
+    fp.word(r.reverted as u64);
+    fp.word(r.kept_aco as u64);
+}
+
+/// The **streaming deterministic merge**: consumes per-job results one at
+/// a time, strictly in canonical job order, and performs the entire
+/// sequential half of suite compilation incrementally — observer replay,
+/// in-pipeline analysis, tuner feedback, the kernel-level post filter the
+/// moment a kernel's last job lands, modeled-time accounting, and the
+/// suite fingerprint as a running FNV-1a fold.
+///
+/// Determinism is by construction: [`consume`](SuiteMerger::consume)
+/// *requires* canonical order (asserted), runs on one thread, and every
+/// float accumulation happens at a fixed point in that order — so the
+/// finished [`SuiteRun`] is byte-identical whether results were produced
+/// inline, by a work-stealing pool at any thread count, or by a daemon's
+/// priority queue in any service order.
+///
+/// Merge-side buffers are pre-sized from the planned job list at
+/// construction: in steady state (no occupancy-capped re-schedules, no
+/// analysis) the merge loop performs **zero** allocator events — the
+/// counting-allocator test extends the PR 3/7 allocation-free invariant
+/// from `run_job` to this whole path.
+pub struct SuiteMerger<'a, F> {
+    suite: &'a Suite,
+    occ: &'a OccupancyModel,
+    cfg: &'a PipelineConfig,
+    jobs: &'a [RegionJob],
+    cache: Option<&'a ScheduleCache>,
+    tune: Option<&'a TuneStore>,
+    observe: F,
+    exec: ExecModel,
+    analysis: Option<AnalysisReport>,
+    records: Vec<RegionRecord>,
+    kernel_occupancy: Vec<u32>,
+    kernel_times: Vec<f64>,
+    compile_us: f64,
+    fp: Fnv64,
+    /// Planned job count per kernel (drives kernel-boundary detection).
+    kernel_jobs: Vec<usize>,
+    next_job: usize,
+    kernel: usize,
+    consumed_in_kernel: usize,
+    /// Per-kernel scratch, pre-sized to the largest kernel and reused
+    /// (cleared, never reallocated) across the whole merge.
+    slots: Vec<Option<RegionCompilation>>,
+    compiled: Vec<RegionCompilation>,
+    per_region: Vec<(u32, Cycle)>,
+    bench_times: Vec<f64>,
+}
+
+impl<'a, F> SuiteMerger<'a, F>
+where
+    F: FnMut(usize, usize, &Ddg, &PipelineConfig, &RegionCompilation),
+{
+    /// A merger ready to consume job 0. `jobs` must be [`plan_jobs`]'s
+    /// canonical list for `(suite, cfg)`.
+    pub fn new(
+        suite: &'a Suite,
+        occ: &'a OccupancyModel,
+        cfg: &'a PipelineConfig,
+        jobs: &'a [RegionJob],
+        cache: Option<&'a ScheduleCache>,
+        tune: Option<&'a TuneStore>,
+        observe: F,
+    ) -> SuiteMerger<'a, F> {
+        let mut kernel_jobs = vec![0usize; suite.kernels.len()];
+        for job in jobs {
+            kernel_jobs[job.kernel()] += 1;
+        }
+        let max_regions = suite.kernels.iter().map(|k| k.regions.len()).max();
+        let max_regions = max_regions.unwrap_or(0);
+        let max_bench = suite.benchmarks.iter().map(|b| b.kernels.len()).max();
+        // In-pipeline static analysis rides the observer path: it sees
+        // exactly the compilations the observer sees (including capped
+        // re-schedules) and never mutates one, so it cannot perturb the
+        // run.
+        let analysis = cfg.analyze.enabled.then(|| {
+            let mut rep = AnalysisReport::default();
+            rep.absorb(check_config_drift(cfg, occ));
+            rep
+        });
+        let mut slots = Vec::with_capacity(max_regions);
+        if let Some(first) = suite.kernels.first() {
+            slots.resize_with(first.regions.len(), || None);
+        }
+        SuiteMerger {
+            suite,
+            occ,
+            cfg,
+            jobs,
+            cache,
+            tune,
+            observe,
+            exec: ExecModel {
+                max_occupancy: occ.max_waves(),
+            },
+            analysis,
+            records: Vec::with_capacity(suite.region_count()),
+            kernel_occupancy: Vec::with_capacity(suite.kernels.len()),
+            kernel_times: Vec::with_capacity(suite.kernels.len()),
+            compile_us: 0.0,
+            fp: Fnv64::new(),
+            kernel_jobs,
+            next_job: 0,
+            kernel: 0,
+            consumed_in_kernel: 0,
+            slots,
+            compiled: Vec::with_capacity(max_regions),
+            per_region: Vec::with_capacity(max_regions),
+            bench_times: Vec::with_capacity(max_bench.unwrap_or(0)),
+        }
+    }
+
+    fn analyze_comp(&mut self, k: usize, ri: usize, ddg: &Ddg, comp: &RegionCompilation) {
+        if let Some(rep) = self.analysis.as_mut() {
             rep.regions_analyzed += 1;
             rep.absorb(
                 analyze_region(ddg, comp)
@@ -320,44 +503,64 @@ where
                     .collect(),
             );
         }
-    };
-    let mut records = Vec::with_capacity(suite.region_count());
-    let mut kernel_occupancy = Vec::with_capacity(suite.kernels.len());
-    let mut kernel_times = Vec::with_capacity(suite.kernels.len());
-    let mut compile_us = 0.0;
-    let mut job_results = jobs.iter().zip(results).peekable();
-    // Per-kernel scratch, reused (cleared, not reallocated) across the
-    // whole merge. Sized for the largest kernel on first use.
-    let mut slots: Vec<Option<RegionCompilation>> = Vec::new();
-    let mut compiled: Vec<RegionCompilation> = Vec::new();
-    let mut per_region: Vec<(u32, Cycle)> = Vec::new();
-    for (k, kernel) in suite.kernels.iter().enumerate() {
-        slots.clear();
-        slots.resize_with(kernel.regions.len(), || None);
-        while let Some((_, outcomes)) = job_results.next_if(|(job, _)| job.kernel() == k) {
-            for RegionOutcome {
-                region,
-                cfg: region_cfg,
-                comp,
-                tune: tag,
-            } in outcomes
-            {
-                observe(k, region, &kernel.regions[region], &region_cfg, &comp);
-                analyze_comp(&mut analysis, k, region, &kernel.regions[region], &comp);
-                if let (Some(store), Some(tag)) = (tune, tag) {
-                    observe_outcome(store, &tag, &comp);
-                }
-                slots[region] = Some(comp);
-            }
+    }
+
+    /// Merges one job's outcomes. Must be called with `job_index` exactly
+    /// one past the previous call (starting at 0) — the canonical order
+    /// every determinism guarantee rests on; out-of-order consumption
+    /// panics rather than silently producing a different run.
+    pub fn consume(&mut self, job_index: usize, outcomes: Vec<RegionOutcome>) {
+        assert_eq!(
+            job_index, self.next_job,
+            "job results must be consumed in canonical job order"
+        );
+        let k = self.jobs[job_index].kernel();
+        // Kernels the canonical order skipped entirely (region-free) close
+        // as we pass them.
+        while self.kernel < k {
+            self.finish_kernel();
         }
-        compiled.clear();
+        let suite = self.suite;
+        for RegionOutcome {
+            region,
+            cfg: region_cfg,
+            comp,
+            tune: tag,
+        } in outcomes
+        {
+            let ddg = &suite.kernels[k].regions[region];
+            (self.observe)(k, region, ddg, &region_cfg, &comp);
+            self.analyze_comp(k, region, ddg, &comp);
+            if let (Some(store), Some(tag)) = (self.tune, tag) {
+                observe_outcome(store, &tag, &comp);
+            }
+            self.slots[region] = Some(comp);
+        }
+        self.next_job += 1;
+        self.consumed_in_kernel += 1;
+        if self.consumed_in_kernel == self.kernel_jobs[k] {
+            self.finish_kernel();
+        }
+    }
+
+    /// Closes the current kernel: post filter, records, modeled kernel
+    /// time — the moment its last job was consumed, not at suite end.
+    fn finish_kernel(&mut self) {
+        let suite = self.suite;
+        let k = self.kernel;
+        let kernel = &suite.kernels[k];
+        debug_assert_eq!(self.consumed_in_kernel, self.kernel_jobs[k]);
+        // Move the scratch out so `&mut self` methods stay callable in the
+        // loops below; both moves are pointer swaps, not allocations, and
+        // the vectors go back (capacity intact) before returning.
+        let mut compiled = std::mem::take(&mut self.compiled);
         compiled.extend(
-            slots
+            self.slots
                 .drain(..)
                 .map(|c| c.expect("every region compiled by some job")),
         );
         for (c, ddg) in compiled.iter().zip(&kernel.regions) {
-            compile_us += cfg.base_cost_us(ddg.len()) + c.sched_time_us;
+            self.compile_us += self.cfg.base_cost_us(ddg.len()) + c.sched_time_us;
         }
         // Kernel-level post filter: occupancy is a whole-kernel property
         // (registers are allocated per kernel), so pressure savings beyond
@@ -381,18 +584,18 @@ where
                 c.reverted = true;
                 continue;
             }
-            let mut capped_cfg = *cfg;
+            let mut capped_cfg = *self.cfg;
             capped_cfg.aco.occupancy_cap = Some(kmin);
             // The cap is part of the cache key (`occupancy_cap` is an
             // `AcoConfig` field), so capped re-schedules memoize
             // independently of the uncapped compilations.
-            let capped = match cache {
-                Some(cache) => cache.compile_solo(ddg, occ, &capped_cfg),
-                None => compile_region(ddg, occ, &capped_cfg),
+            let capped = match self.cache {
+                Some(cache) => cache.compile_solo(ddg, self.occ, &capped_cfg),
+                None => compile_region(ddg, self.occ, &capped_cfg),
             };
-            observe(k, ri, ddg, &capped_cfg, &capped);
-            analyze_comp(&mut analysis, k, ri, ddg, &capped);
-            compile_us += capped.sched_time_us;
+            (self.observe)(k, ri, ddg, &capped_cfg, &capped);
+            self.analyze_comp(k, ri, ddg, &capped);
+            self.compile_us += capped.sched_time_us;
             c.sched_time_us += capped.sched_time_us;
             if let Some(a) = capped.aco {
                 if a.occupancy >= kmin && a.length < c.length {
@@ -409,9 +612,9 @@ where
                 }
             }
         }
-        per_region.clear();
+        self.per_region.clear();
         for (ri, c) in compiled.drain(..).enumerate() {
-            per_region.push((c.occupancy, c.length));
+            self.per_region.push((c.occupancy, c.length));
             let (p1_iter, p2_iter, p1_us, p2_us) = match &c.aco {
                 Some(a) => (
                     a.pass1.iterations,
@@ -421,7 +624,7 @@ where
                 ),
                 None => (0, 0, 0.0, 0.0),
             };
-            records.push(RegionRecord {
+            let record = RegionRecord {
                 kernel: k,
                 region: ri,
                 size: c.size,
@@ -438,40 +641,86 @@ where
                 sched_time_us: c.sched_time_us,
                 reverted: c.reverted,
                 kept_aco: c.choice == FinalChoice::Aco,
-            });
+            };
+            fold_record(&mut self.fp, &record);
+            self.records.push(record);
         }
-        kernel_occupancy.push(per_region.iter().map(|&(o, _)| o).min().unwrap_or(0));
+        self.compiled = compiled;
+        self.kernel_occupancy
+            .push(self.per_region.iter().map(|&(o, _)| o).min().unwrap_or(0));
         // Modeled time plus the unmodeled-factor perturbation drawn from
         // the final schedules (see exec_model::unmodeled_factor).
-        let noise = unmodeled_factor(schedule_fingerprint(k, &per_region));
-        kernel_times.push(kernel_time_us(&exec, kernel, &per_region) * (1.0 + noise));
+        let noise = unmodeled_factor(schedule_fingerprint(k, &self.per_region));
+        self.kernel_times
+            .push(kernel_time_us(&self.exec, kernel, &self.per_region) * (1.0 + noise));
+        self.kernel += 1;
+        self.consumed_in_kernel = 0;
+        if let Some(next) = suite.kernels.get(self.kernel) {
+            self.slots.resize_with(next.regions.len(), || None);
+        }
     }
-    let mut benchmark_time_us = Vec::with_capacity(suite.benchmarks.len());
-    let mut throughput = Vec::with_capacity(suite.benchmarks.len());
-    let mut times: Vec<f64> = Vec::new();
-    for b in &suite.benchmarks {
-        times.clear();
-        times.extend(b.kernels.iter().map(|&k| kernel_times[k]));
-        let bytes: u64 = b
-            .kernels
-            .iter()
-            .map(|&k| suite.kernels[k].bytes_per_launch)
-            .sum();
-        benchmark_time_us.push(times.iter().sum());
-        throughput.push(benchmark_throughput(bytes, &times));
-    }
-    SuiteRun {
-        scheduler: cfg.scheduler,
-        regions: records,
-        kernel_occupancy,
-        kernel_time_us: kernel_times,
-        benchmark_time_us,
-        benchmark_throughput: throughput,
-        compile_time_s: compile_us / 1e6,
-        // Callers overwrite with the delta over their whole compilation
-        // (job phase + merge); the merge alone cannot see phase 1's start.
-        cache: CacheStats::default(),
-        analysis,
+
+    /// Finalizes the run: closes any trailing region-free kernels, folds
+    /// the benchmark aggregates, and completes the incremental
+    /// fingerprint. Panics if any planned job was never consumed.
+    pub fn finish(mut self) -> SuiteRun {
+        assert_eq!(
+            self.next_job,
+            self.jobs.len(),
+            "every planned job must be consumed before finishing the merge"
+        );
+        while self.kernel < self.suite.kernels.len() {
+            self.finish_kernel();
+        }
+        let suite = self.suite;
+        let mut benchmark_time_us: Vec<f64> = Vec::with_capacity(suite.benchmarks.len());
+        let mut throughput: Vec<f64> = Vec::with_capacity(suite.benchmarks.len());
+        for b in &suite.benchmarks {
+            self.bench_times.clear();
+            self.bench_times
+                .extend(b.kernels.iter().map(|&k| self.kernel_times[k]));
+            let bytes: u64 = b
+                .kernels
+                .iter()
+                .map(|&k| suite.kernels[k].bytes_per_launch)
+                .sum();
+            benchmark_time_us.push(self.bench_times.iter().sum());
+            throughput.push(benchmark_throughput(bytes, &self.bench_times));
+        }
+        let compile_time_s = self.compile_us / 1e6;
+        // Fingerprint tail: the per-kernel and per-benchmark aggregates
+        // follow the region records in the canonical word stream. The
+        // expensive part — one word-fold pass over every region record —
+        // already happened incrementally as kernels closed.
+        let mut fp = self.fp;
+        for &o in &self.kernel_occupancy {
+            fp.word(o as u64);
+        }
+        for &t in &self.kernel_times {
+            fp.word(t.to_bits());
+        }
+        for &t in &benchmark_time_us {
+            fp.word(t.to_bits());
+        }
+        for &t in &throughput {
+            fp.word(t.to_bits());
+        }
+        fp.word(compile_time_s.to_bits());
+        SuiteRun {
+            scheduler: self.cfg.scheduler,
+            regions: self.records,
+            kernel_occupancy: self.kernel_occupancy,
+            kernel_time_us: self.kernel_times,
+            benchmark_time_us,
+            benchmark_throughput: throughput,
+            compile_time_s,
+            // Callers overwrite with the delta over their whole
+            // compilation (job phase + merge); the merge alone cannot see
+            // the job phase's start.
+            cache: CacheStats::default(),
+            analysis: self.analysis,
+            fingerprint: fp.finish(),
+        }
     }
 }
 

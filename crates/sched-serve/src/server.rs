@@ -6,9 +6,11 @@
 //! work; a fixed pool of compile workers drains the planner in
 //! smallest-first order through the same pipeline entry points the
 //! one-shot CLI uses ([`ScheduleCache::compile_solo`],
-//! [`pipeline::host_pool::run_job`]). Responses travel back through a
-//! per-connection [`ResponseWriter`] so completions can interleave across
-//! a connection's outstanding requests.
+//! [`pipeline::host_pool::run_job`]). Suite requests additionally get a
+//! dedicated merger thread that streams the canonical merge behind job
+//! execution via the per-job [`SlotTable`] (see [`SuiteState`]).
+//! Responses travel back through a per-connection [`ResponseWriter`] so
+//! completions can interleave across a connection's outstanding requests.
 //!
 //! Shutdown is a *drain*: on SIGTERM/SIGINT (socket transport) or EOF
 //! (stdio transport) the daemon stops admitting, lets every queued and
@@ -24,10 +26,10 @@ use crate::signal;
 use crate::stats::ServeStats;
 use aco_tune::TuneStore;
 use machine_model::OccupancyModel;
-use pipeline::host_pool::{plan_jobs, run_job, RegionJob, RegionOutcome};
+use pipeline::host_pool::{plan_jobs, run_job, RegionJob, RegionOutcome, SlotTable};
 use pipeline::{
     merge_job_results, observe_outcome, tunable, tuned_solo_inputs, PipelineConfig, ScheduleCache,
-    SchedulerKind,
+    SchedulerKind, SuiteMerger,
 };
 use sched_ir::{textir, Ddg};
 use std::io::{self, BufRead, BufReader, Write};
@@ -133,15 +135,21 @@ struct RegionWork {
 }
 
 /// Shared state of one `suite` request, split into per-job work items.
-/// The last job to finish runs the canonical sequential merge
-/// ([`merge_job_results`]), which is what keeps the response byte-independent
-/// of service order.
+/// Workers publish finished job outcomes into the per-job [`SlotTable`];
+/// a dedicated merger thread (spawned at admission) consumes slots in
+/// canonical job order through [`SuiteMerger`], so the merge streams
+/// behind execution instead of waiting for the last finisher — and the
+/// response stays byte-independent of service order by construction.
 struct SuiteState {
     suite: workloads::Suite,
     occ: OccupancyModel,
     cfg: PipelineConfig,
     jobs: Vec<RegionJob>,
-    results: Mutex<Vec<Option<Vec<RegionOutcome>>>>,
+    /// One slot per canonical job; `cancel()`ed on expiry so the merger
+    /// thread unblocks and exits without responding.
+    slots: SlotTable<Vec<RegionOutcome>>,
+    /// Jobs not yet published — sampled by the merger to classify merge
+    /// time as overlapped (hidden under running jobs) or tail.
     remaining: AtomicUsize,
     expired: AtomicBool,
     /// Snapshot of the engine's tuning store taken at submission, so every
@@ -174,6 +182,10 @@ pub struct Engine {
     stats: ServeStats,
     cache_path: Option<PathBuf>,
     tune_path: Option<PathBuf>,
+    /// One merger thread per admitted suite request (finished handles are
+    /// reaped at the next admission, all joined on shutdown so every
+    /// response flushes before the process exits).
+    mergers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Engine {
@@ -239,6 +251,7 @@ impl Server {
             stats: ServeStats::default(),
             cache_path: config.cache_path,
             tune_path: config.tune_path,
+            mergers: Mutex::new(Vec::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -255,12 +268,14 @@ impl Server {
     }
 
     /// Graceful drain: stop admission, finish and answer everything
-    /// queued or in flight, join the workers, persist the cache.
+    /// queued or in flight, join the workers and suite merger threads
+    /// (so every streaming merge responds), persist the cache.
     pub fn shutdown(self) -> io::Result<()> {
         self.engine.planner.drain();
         for w in self.workers {
             let _ = w.join();
         }
+        join_mergers(&self.engine);
         if self.engine.cache_path.is_some() || self.engine.tune_path.is_some() {
             self.engine
                 .flush()
@@ -269,9 +284,27 @@ impl Server {
         Ok(())
     }
 
-    /// Blocks until nothing is queued or in flight (test aid).
+    /// Blocks until nothing is queued or in flight and every suite
+    /// merger thread has responded (test aid).
     pub fn wait_idle(&self) {
         self.engine.planner.wait_idle();
+        join_mergers(&self.engine);
+    }
+}
+
+/// Takes and joins every outstanding suite merger thread. Once the
+/// planner is idle all slots are published (or cancelled), so each join
+/// returns as soon as that merger's tail work finishes.
+fn join_mergers(engine: &Engine) {
+    let handles: Vec<_> = {
+        let mut mergers = engine
+            .mergers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        mergers.drain(..).collect()
+    };
+    for h in handles {
+        let _ = h.join();
     }
 }
 
@@ -343,6 +376,8 @@ fn run_suite_job(engine: &Engine, state: &SuiteState, index: usize, started: Ins
                     },
                 );
                 ServeStats::bump(&engine.stats.expired, 1);
+                // Unblock the merger thread; it exits without responding.
+                state.slots.cancel();
             }
         }
     }
@@ -355,8 +390,14 @@ fn run_suite_job(engine: &Engine, state: &SuiteState, index: usize, started: Ins
             Some(&engine.cache),
             state.tune.as_ref(),
         );
-        let mut results = state.results.lock().unwrap_or_else(PoisonError::into_inner);
-        results[index] = Some(outcomes);
+        // `remaining` counts unpublished jobs, so decrement *before*
+        // publishing: the merger never sees a published slot while the
+        // counter still includes it, keeping the overlap classification
+        // conservative.
+        state.remaining.fetch_sub(1, Ordering::SeqCst);
+        state.slots.publish(index, outcomes);
+    } else {
+        state.remaining.fetch_sub(1, Ordering::SeqCst);
     }
     ServeStats::bump(
         &engine.stats.suite_jobs_us,
@@ -366,35 +407,43 @@ fn run_suite_job(engine: &Engine, state: &SuiteState, index: usize, started: Ins
         &engine.stats.service_us,
         started.elapsed().as_micros() as u64,
     );
-    if state.remaining.fetch_sub(1, Ordering::SeqCst) == 1 && !state.expired.load(Ordering::SeqCst)
-    {
-        finish_suite(engine, state);
-    }
 }
 
-fn finish_suite(engine: &Engine, state: &SuiteState) {
-    let t_merge = Instant::now();
-    let results: Vec<Vec<RegionOutcome>> = {
-        let mut slots = state.results.lock().unwrap_or_else(PoisonError::into_inner);
-        slots
-            .iter_mut()
-            .map(|s| s.take().expect("every suite job recorded a result"))
-            .collect()
-    };
-    let run = merge_job_results(
+/// The streaming suite merge, one dedicated thread per admitted request:
+/// consumes the slot table in canonical job order the moment each slot
+/// lands, classifying merge time as overlapped while jobs are still in
+/// flight. Exits silently (no response) when the request expired — the
+/// expiring worker already answered and cancelled the table.
+fn suite_merger_thread(engine: &Engine, state: &SuiteState) {
+    let mut merger = SuiteMerger::new(
         &state.suite,
         &state.occ,
         &state.cfg,
         &state.jobs,
-        results,
         Some(&engine.cache),
         engine.tune.as_ref(),
         |_, _, _, _, _| {},
     );
-    ServeStats::bump(
-        &engine.stats.suite_merge_us,
-        t_merge.elapsed().as_micros() as u64,
-    );
+    let mut merge_us = 0u64;
+    let mut overlap_us = 0u64;
+    for index in 0..state.jobs.len() {
+        let Some(outcomes) = state.slots.wait_take(index) else {
+            return; // expired: cancelled mid-stream, response already sent
+        };
+        let in_flight = state.remaining.load(Ordering::SeqCst);
+        let t = Instant::now();
+        merger.consume(index, outcomes);
+        let d = t.elapsed().as_micros() as u64;
+        merge_us += d;
+        if in_flight > 0 {
+            overlap_us += d;
+        }
+    }
+    let t = Instant::now();
+    let run = merger.finish();
+    merge_us += t.elapsed().as_micros() as u64;
+    ServeStats::bump(&engine.stats.suite_merge_us, merge_us);
+    ServeStats::bump(&engine.stats.suite_overlap_us, overlap_us);
     ServeStats::bump(&engine.stats.suites, 1);
     ServeStats::bump(&engine.stats.served, 1);
     state.ctx.out.send(
@@ -648,7 +697,7 @@ fn submit_suite(engine: &Arc<Engine>, out: &Arc<ResponseWriter>, id: String, opt
         occ,
         cfg,
         jobs,
-        results: Mutex::new((0..n_jobs).map(|_| None).collect()),
+        slots: SlotTable::new(n_jobs),
         remaining: AtomicUsize::new(n_jobs),
         expired: AtomicBool::new(false),
         tune: engine.tune.clone(),
@@ -676,7 +725,22 @@ fn submit_suite(engine: &Arc<Engine>, out: &Arc<ResponseWriter>, id: String, opt
                 capacity: over.capacity,
             },
         );
+        return;
     }
+    // Admitted: start this request's streaming merge consumer. Reap
+    // handles of already-finished mergers so a long-lived daemon's list
+    // stays bounded by its in-flight suite count.
+    let merger = {
+        let engine = Arc::clone(engine);
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || suite_merger_thread(&engine, &state))
+    };
+    let mut mergers = engine
+        .mergers
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    mergers.retain(|h| !h.is_finished());
+    mergers.push(merger);
 }
 
 /// Serves the stdio transport: requests on stdin, responses on stdout.

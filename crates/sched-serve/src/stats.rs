@@ -5,8 +5,9 @@
 //! the `stats` payload together with the shared cache's own
 //! hit/miss/insert/bypass counters and the planner's live queue depth.
 //! Suite requests additionally account wall-clock per phase using the
-//! same plan/jobs/merge split [`pipeline::SuiteWallclock`] reports for
-//! one-shot suite runs.
+//! same plan/jobs/merge(+overlap) split [`pipeline::SuiteWallclock`]
+//! reports for one-shot suite runs; `suite_overlap_us` is the slice of
+//! merge time the streaming consumer hid under still-running jobs.
 
 use aco_tune::TunerStats;
 use pipeline::CacheStats;
@@ -42,6 +43,9 @@ pub struct ServeStats {
     pub suite_jobs_us: AtomicU64,
     /// Suite phase: canonical merge, microseconds.
     pub suite_merge_us: AtomicU64,
+    /// Portion of `suite_merge_us` that ran while suite jobs were still
+    /// in flight — merge latency hidden by the streaming consumer.
+    pub suite_overlap_us: AtomicU64,
 }
 
 impl ServeStats {
@@ -102,10 +106,11 @@ impl ServeStats {
         );
         let _ = writeln!(
             out,
-            "suite_phases_us: plan {}, jobs {}, merge {}",
+            "suite_phases_us: plan {}, jobs {}, merge {} (overlapped {})",
             get(&self.suite_plan_us),
             get(&self.suite_jobs_us),
             get(&self.suite_merge_us),
+            get(&self.suite_overlap_us),
         );
         out
     }
@@ -136,7 +141,7 @@ mod tests {
         assert!(r.contains("cache: 3 hits, 1 misses, 1 inserts, 0 bypasses, 2 evictions"));
         assert!(r.contains("queue: 2 queued, 4 regions compiled, 0 suites"));
         assert!(r.contains("queue_wait 400 (avg 100), service 4000 (avg 1000)"));
-        assert!(r.contains("suite_phases_us: plan 0, jobs 0, merge 0"));
+        assert!(r.contains("suite_phases_us: plan 0, jobs 0, merge 0 (overlapped 0)"));
         assert!(!r.contains("tuner:"), "no tuner line when tuning is off");
     }
 

@@ -129,11 +129,13 @@ EOF
 
     echo "==> wallclock smoke perf gate"
     # Schema-validate the bench reports with a real JSON parser (the
-    # binaries only do structural checks), then compare the smoke run's
-    # sequential jobs_s against the committed baseline: a regression
-    # beyond 1.25x fails the gate. Regenerate the baseline on the
-    # reference machine with
-    #   ./target/release/wallclock --smoke --out /dev/null  (see jobs_s)
+    # binaries only do structural checks). Schema v3 is mandatory: v2
+    # artifacts (no streaming-merge split) are rejected so a stale
+    # committed report cannot pass. Then compare the smoke run's
+    # sequential jobs_s, merge_s, and best_total_s against the committed
+    # baseline: a regression beyond 1.25x on any of them fails the gate.
+    # Regenerate the baseline on the reference machine with
+    #   ./target/release/wallclock --smoke --out /dev/null
     # and edit BENCH_smoke_baseline.json when a slowdown is intentional.
     python3 - "$smoke_dir/BENCH_wallclock.json" BENCH_smoke_baseline.json \
         BENCH_wallclock.json <<'EOF'
@@ -142,7 +144,9 @@ import json, sys
 def validate(path):
     with open(path) as f:
         rep = json.load(f)
-    assert rep["schema_version"] == 2, rep.get("schema_version")
+    got = rep.get("schema_version")
+    assert got != 2, f"{path}: schema v2 artifact — regenerate with the v3 bench"
+    assert got == 3, f"{path}: unknown schema_version {got}"
     assert rep["benchmark"] == "suite_compile_wallclock", rep["benchmark"]
     for key in ("cores", "scheduler", "suite", "repetitions", "checksum",
                 "checksums_agree", "samples", "sequential_best_s",
@@ -152,10 +156,22 @@ def validate(path):
     assert rep["samples"], f"{path}: no samples"
     for s in rep["samples"]:
         for key in ("threads", "oversubscribed", "best_total_s", "plan_s",
-                    "jobs_s", "merge_s", "all_total_s", "modeled_compile_s"):
+                    "jobs_s", "merge_s", "merge_overlap_s", "critical_path_s",
+                    "all_total_s", "modeled_compile_s"):
             assert key in s, f"{path}: missing sample key {key}"
         assert s["oversubscribed"] == (s["threads"] > rep["cores"]), \
             f"{path}: bad oversubscription label at {s['threads']} threads"
+        # Streaming-merge split sanity: overlap is a sub-span of merge,
+        # inline (1-thread) runs cannot overlap, and the critical path is
+        # exactly the non-overlapped portion of the phase sum.
+        assert 0.0 <= s["merge_overlap_s"] <= s["merge_s"] + 1e-12, \
+            f"{path}: merge_overlap_s outside [0, merge_s] at {s['threads']} threads"
+        if s["threads"] <= 1:
+            assert s["merge_overlap_s"] == 0.0, \
+                f"{path}: inline merge reported overlap"
+        want_cp = s["plan_s"] + s["jobs_s"] + (s["merge_s"] - s["merge_overlap_s"])
+        assert abs(s["critical_path_s"] - want_cp) <= 1e-9, \
+            f"{path}: critical_path_s disagrees with the phase split"
     # The headline numbers must come from honest rows only.
     honest = [s["best_total_s"] for s in rep["samples"]
               if s["threads"] > 1 and not s["oversubscribed"]]
@@ -168,15 +184,18 @@ smoke = validate(sys.argv[1])
 validate(sys.argv[3])  # the committed full-scale report stays well-formed
 with open(sys.argv[2]) as f:
     base = json.load(f)
+assert base["schema_version"] == 2, \
+    "baseline must be schema 2 (jobs_s + merge_s + best_total_s)"
 assert smoke["suite"]["scale"] == base["suite"]["scale"], \
     "baseline/smoke suite scale mismatch"
 cur = next(s for s in smoke["samples"] if s["threads"] == base["threads"])
-limit = base["jobs_s"] * 1.25
-assert cur["jobs_s"] <= limit, (
-    f"perf gate: smoke jobs_s {cur['jobs_s']:.3f}s exceeds {limit:.3f}s "
-    f"(committed baseline {base['jobs_s']:.3f}s x 1.25)")
-print(f"perf gate: smoke jobs_s {cur['jobs_s']:.3f}s <= {limit:.3f}s "
-      f"(baseline {base['jobs_s']:.3f}s)")
+for metric in ("jobs_s", "merge_s", "best_total_s"):
+    limit = base[metric] * 1.25
+    assert cur[metric] <= limit, (
+        f"perf gate: smoke {metric} {cur[metric]:.4f}s exceeds {limit:.4f}s "
+        f"(committed baseline {base[metric]:.4f}s x 1.25)")
+    print(f"perf gate: smoke {metric} {cur[metric]:.4f}s <= {limit:.4f}s "
+          f"(baseline {base[metric]:.4f}s)")
 EOF
 
     echo "==> tuning smoke gate"

@@ -287,7 +287,7 @@ fn overload_and_deadline_rejections_are_typed() {
 }
 
 #[test]
-fn suite_request_reports_the_golden_configuration_fingerprint() {
+fn suite_request_is_byte_identical_to_the_one_shot_pipeline() {
     let dir = tmp_dir("suite");
     let socket = dir.join("daemon.sock");
     let daemon = start_daemon(&dir, &socket, &[]);
@@ -302,7 +302,9 @@ fn suite_request_reports_the_golden_configuration_fingerprint() {
         String::from_utf8_lossy(&out.stderr)
     );
     let text = String::from_utf8(out.stdout).unwrap();
-    // Same run in-process through the pipeline: fingerprints must agree.
+    // Same run in-process through the pipeline, rendered through the same
+    // function the daemon uses: the daemon's streaming merge must produce
+    // the byte-identical payload, not just the same fingerprint line.
     let suite = gpu_aco::bench_workloads::Suite::generate(
         &gpu_aco::bench_workloads::SuiteConfig::scaled(5, 0.008),
     );
@@ -312,6 +314,11 @@ fn suite_request_reports_the_golden_configuration_fingerprint() {
     cfg.aco.blocks = 4;
     cfg.aco.pass2_gate_cycles = 1;
     let run = gpu_aco::compile::compile_suite(&suite, &occ, &cfg);
+    let want_payload = gpu_aco::serve::render::suite_report(&run);
+    assert_eq!(
+        text, want_payload,
+        "daemon suite payload differs from the one-shot pipeline"
+    );
     let want = format!(
         "fingerprint {:#018x}",
         gpu_aco::verify::suite_fingerprint(&run)
@@ -319,6 +326,22 @@ fn suite_request_reports_the_golden_configuration_fingerprint() {
     assert!(
         text.lines().any(|l| l == want),
         "suite response {text:?} lacks {want:?}"
+    );
+    // The incremental fingerprint folded during the streaming merge must
+    // equal the whole-run recomputation the renderer prints.
+    assert_eq!(run.fingerprint, gpu_aco::verify::suite_fingerprint(&run));
+
+    // The stats payload surfaces the merge-overlap latency split.
+    let stats = cli(&["request", "--socket", &sock, "stats"], &dir);
+    assert!(stats.status.success());
+    let stats_text = String::from_utf8_lossy(&stats.stdout).into_owned();
+    let phases = stats_text
+        .lines()
+        .find(|l| l.starts_with("suite_phases_us:"))
+        .unwrap_or_else(|| panic!("stats lacks suite_phases_us line: {stats_text}"));
+    assert!(
+        phases.contains("(overlapped "),
+        "phases line lacks overlap split: {phases}"
     );
     stop_daemon(daemon);
 }
